@@ -1,0 +1,225 @@
+// Benchmarks regenerating the paper's evaluation (Section IV) at a reduced
+// scale, one benchmark family per figure, plus micro-benchmarks for the
+// substrates. The full-fidelity runs (3x3 km, n = 3000, K = 20) are driven
+// by cmd/uavbench; these benches keep iterations small enough for
+// `go test -bench=. -benchmem` to finish in minutes on a laptop.
+//
+//	BenchmarkFig4/...  served users vs number of UAVs K
+//	BenchmarkFig5/...  served users vs number of users n
+//	BenchmarkFig6/...  served users and running time vs parameter s
+//	                   (time/op IS Fig. 6(b)'s metric)
+package uavnet_test
+
+import (
+	"fmt"
+	"testing"
+
+	uavnet "github.com/uav-coverage/uavnet"
+	"github.com/uav-coverage/uavnet/internal/eval"
+)
+
+// benchParams is the reduced-scale Section IV-A setting shared by the
+// figure benchmarks: same area shape and fleet heterogeneity, fewer users
+// and a coarser sweep so one point fits in a benchmark iteration.
+func benchParams() eval.Params {
+	return eval.Params{
+		AreaSide: 3000,
+		CellSide: 500,
+		N:        600,
+		K:        10,
+		CMin:     20,
+		CMax:     120,
+		Seed:     1,
+	}
+}
+
+func benchInstance(b *testing.B, p eval.Params) *uavnet.Instance {
+	b.Helper()
+	in, err := eval.BuildInstance(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+// BenchmarkFig4 regenerates one K-point of Fig. 4 per sub-benchmark:
+// approAlg on the paper's scenario shape with K swept.
+func BenchmarkFig4(b *testing.B) {
+	for _, k := range []int{2, 6, 10} {
+		b.Run(fmt.Sprintf("approAlg/K=%d", k), func(b *testing.B) {
+			p := benchParams()
+			p.K = k
+			in := benchInstance(b, p)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dep, err := uavnet.DeployInstance(in, uavnet.Options{S: 2, Workers: 2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if dep.Served == 0 {
+					b.Fatal("served nobody")
+				}
+			}
+		})
+	}
+	// The baselines complete the figure's five curves.
+	for _, name := range uavnet.AlgorithmNames()[1:] {
+		b.Run(fmt.Sprintf("%s/K=10", name), func(b *testing.B) {
+			in := benchInstance(b, benchParams())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := uavnet.DeployWith(name, in, uavnet.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig5 regenerates one n-point of Fig. 5 per sub-benchmark.
+func BenchmarkFig5(b *testing.B) {
+	for _, n := range []int{200, 400, 600} {
+		b.Run(fmt.Sprintf("approAlg/n=%d", n), func(b *testing.B) {
+			p := benchParams()
+			p.N = n
+			in := benchInstance(b, p)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := uavnet.DeployInstance(in, uavnet.Options{S: 2, Workers: 2}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig6 regenerates Fig. 6: the reported time/op across the s
+// sub-benchmarks is exactly Fig. 6(b)'s running-time curve, and each run's
+// served count traces Fig. 6(a).
+func BenchmarkFig6(b *testing.B) {
+	for _, s := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("approAlg/s=%d", s), func(b *testing.B) {
+			in := benchInstance(b, benchParams())
+			served := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dep, err := uavnet.DeployInstance(in, uavnet.Options{S: s, Workers: 2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				served = dep.Served
+			}
+			b.ReportMetric(float64(served), "served")
+		})
+	}
+}
+
+// BenchmarkAblation isolates the implementation choices DESIGN.md calls
+// out: subset pruning and the leftover-UAV extension pass.
+func BenchmarkAblation(b *testing.B) {
+	variants := []struct {
+		name string
+		opts uavnet.Options
+	}{
+		{"baseline", uavnet.Options{S: 2, Workers: 2}},
+		{"no-prune", uavnet.Options{S: 2, Workers: 2, DisablePrune: true}},
+		{"ground-leftovers", uavnet.Options{S: 2, Workers: 2, GroundLeftovers: true}},
+		{"sampled-subsets", uavnet.Options{S: 2, Workers: 2, MaxSubsets: 40}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			in := benchInstance(b, benchParams())
+			served := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dep, err := uavnet.DeployInstance(in, v.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				served = dep.Served
+			}
+			b.ReportMetric(float64(served), "served")
+		})
+	}
+}
+
+// BenchmarkAssignment measures the Section II-D max-flow oracle alone:
+// optimal assignment of n users to 10 placed stations.
+func BenchmarkAssignment(b *testing.B) {
+	in := benchInstance(b, benchParams())
+	locs := make([]int, in.Scenario.K())
+	for i := range locs {
+		locs[i] = i // first K cells; a legal, connected-ish placement
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := uavnet.EvaluatePlacement(in, locs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInstancePrecompute measures eligibility precomputation: channel
+// radii, location graph, hop matrix.
+func BenchmarkInstancePrecompute(b *testing.B) {
+	p := benchParams()
+	sc, err := uavnet.GenerateScenario(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := uavnet.NewInstance(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoverageRadius measures the channel model's numeric radius
+// solver used once per (UAV class, rate requirement).
+func BenchmarkCoverageRadius(b *testing.B) {
+	ch := uavnet.DefaultChannel()
+	tx := uavnet.Transmitter{PowerDBm: 30, AntennaGainDBi: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := ch.CoverageRadius(tx, 300, 2000); r <= 0 {
+			b.Fatal("no radius")
+		}
+	}
+}
+
+// BenchmarkQueueSim measures the discrete-event queueing simulator that
+// reproduces the paper's capacity motivation.
+func BenchmarkQueueSim(b *testing.B) {
+	cfg := uavnet.QueueConfig{
+		ArrivalRatePerUser: 0.1,
+		ServiceRate:        20,
+		Duration:           500,
+		WarmUp:             50,
+		Seed:               1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := uavnet.SimulateQueues([]int{100, 150}, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScenarioJSON measures scenario serialization round trips.
+func BenchmarkScenarioJSON(b *testing.B) {
+	sc, err := uavnet.GenerateScenario(benchParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := uavnet.MarshalScenario(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := uavnet.UnmarshalScenario(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestFigureSettingsScales(t *testing.T) {
+	paperBase, ks, ns, ss := figureSettings("paper", 4)
+	if paperBase.WithDefaults().N != 3000 || paperBase.WithDefaults().K != 20 {
+		t.Errorf("paper base should default to Section IV-A values")
+	}
+	if len(ks) != 10 || ks[0] != 2 || ks[len(ks)-1] != 20 {
+		t.Errorf("paper K sweep = %v", ks)
+	}
+	if len(ns) != 5 || ns[0] != 1000 || ns[len(ns)-1] != 3000 {
+		t.Errorf("paper n sweep = %v", ns)
+	}
+	if len(ss) != 4 || ss[0] != 1 || ss[3] != 4 {
+		t.Errorf("s sweep = %v", ss)
+	}
+
+	quickBase, qks, qns, qss := figureSettings("quick", 2)
+	if quickBase.N == 0 || quickBase.N >= 3000 {
+		t.Errorf("quick scale should shrink n, got %d", quickBase.N)
+	}
+	if len(qks) == 0 || len(qns) == 0 {
+		t.Error("quick sweeps empty")
+	}
+	if len(qss) != 2 {
+		t.Errorf("smax=2 should yield two s values, got %v", qss)
+	}
+}

@@ -1,0 +1,201 @@
+// Command uavdeploy runs a deployment algorithm on a scenario and prints
+// the resulting placement, per-UAV loads, and summary statistics.
+//
+// Usage:
+//
+//	uavdeploy -scenario scenario.json                 # approAlg, s = 3
+//	uavdeploy -scenario scenario.json -alg MCS        # one baseline
+//	uavdeploy -scenario scenario.json -alg all        # compare everything
+//	uavdeploy -n 500 -k 8 -seed 3                     # generate inline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	uavnet "github.com/uav-coverage/uavnet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "uavdeploy:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scenarioPath = flag.String("scenario", "", "scenario JSON (from uavgen); empty generates one")
+		alg          = flag.String("alg", "approAlg", `algorithm: approAlg | MCS | MotionCtrl | GreedyAssign | maxThroughput | all`)
+		s            = flag.Int("s", 3, "approAlg anchor parameter s")
+		workers      = flag.Int("workers", 0, "approAlg worker goroutines (0 = all cores)")
+		maxSubsets   = flag.Int("max-subsets", 0, "approAlg anchor-subset cap (0 = exhaustive)")
+		n            = flag.Int("n", 500, "users when generating inline")
+		k            = flag.Int("k", 8, "UAVs when generating inline")
+		seed         = flag.Int64("seed", 1, "seed when generating inline")
+		showMap      = flag.Bool("map", true, "print the ASCII placement map")
+		literal      = flag.Bool("literal", false, "run approAlg exactly as the paper's pseudocode (ground leftover UAVs)")
+		refine       = flag.Bool("refine", false, "refine the assignment to minimize total pathloss")
+		gatewayAt    = flag.String("gateway", "", "gateway position as \"x,y\" meters; builds a relay chain to it")
+	)
+	flag.Parse()
+
+	var sc *uavnet.Scenario
+	var err error
+	if *scenarioPath != "" {
+		sc, err = uavnet.LoadScenario(*scenarioPath)
+	} else {
+		sc, err = uavnet.GenerateScenario(uavnet.ScenarioSpec{N: *n, K: *k, Seed: *seed})
+	}
+	if err != nil {
+		return err
+	}
+	in, err := uavnet.NewInstance(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario: %d users, %d UAVs, %d cells, area %.0fx%.0f m\n\n",
+		sc.N(), sc.K(), sc.M(), sc.Grid.Length, sc.Grid.Width)
+
+	names := []string{*alg}
+	if *alg == "all" {
+		names = uavnet.AlgorithmNames()
+	}
+	opts := uavnet.Options{S: *s, Workers: *workers, MaxSubsets: *maxSubsets, GroundLeftovers: *literal}
+	for _, name := range names {
+		start := time.Now()
+		var dep *uavnet.Deployment
+		switch {
+		case *gatewayAt != "" && name == "approAlg":
+			// approAlg plans the gateway in: its cells become required anchors.
+			gw, err := parseGateway(*gatewayAt)
+			if err != nil {
+				return err
+			}
+			dep, err = uavnet.DeployToGateway(in, gw, opts)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		default:
+			var err error
+			dep, err = uavnet.DeployWith(name, in, opts)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			if *gatewayAt != "" {
+				// Baselines are gateway-oblivious; retrofit a relay chain.
+				gw, err := parseGateway(*gatewayAt)
+				if err != nil {
+					return err
+				}
+				dep, err = uavnet.ConnectToGateway(in, dep, gw)
+				if err != nil {
+					return fmt.Errorf("%s: gateway: %w", name, err)
+				}
+			}
+		}
+		if *refine {
+			refined, totalPL, err := uavnet.RefineAssignment(in, dep)
+			if err != nil {
+				return fmt.Errorf("%s: refine: %w", name, err)
+			}
+			fmt.Printf("refined total pathloss: %.1f dB across %d links\n",
+				float64(totalPL)/1000, refined.Served)
+			dep = refined
+		}
+		elapsed := time.Since(start)
+		report(in, dep, elapsed, *showMap)
+	}
+	return nil
+}
+
+// parseGateway parses an "x,y" position in meters.
+func parseGateway(s string) (uavnet.Gateway, error) {
+	var x, y float64
+	if _, err := fmt.Sscanf(s, "%f,%f", &x, &y); err != nil {
+		return uavnet.Gateway{}, fmt.Errorf("bad -gateway %q (want \"x,y\"): %w", s, err)
+	}
+	return uavnet.Gateway{Pos: uavnet.Point{X: x, Y: y}}, nil
+}
+
+func report(in *uavnet.Instance, dep *uavnet.Deployment, elapsed time.Duration, showMap bool) {
+	sc := in.Scenario
+	fmt.Printf("=== %s ===\n", dep.Algorithm)
+	fmt.Printf("served users:   %d / %d (%.1f%%)\n",
+		dep.Served, sc.N(), 100*float64(dep.Served)/float64(max(sc.N(), 1)))
+	fmt.Printf("deployed UAVs:  %d / %d\n", dep.DeployedCount(), sc.K())
+	fmt.Printf("connected:      %v\n", uavnet.Connected(in, dep))
+	fmt.Printf("elapsed:        %s\n", elapsed.Round(time.Millisecond))
+	if dep.Algorithm == "approAlg" {
+		fmt.Printf("budget:         L_max=%d s=%d (ratio %.3f)\n",
+			dep.Budget.LMax, dep.Budget.S, uavnet.ApproxRatio(sc.K(), dep.Budget.S))
+		fmt.Printf("subsets:        %d evaluated, %d pruned\n",
+			dep.SubsetsEvaluated, dep.SubsetsPruned)
+	}
+	fmt.Println("per-UAV load (capacity):")
+	for uav, loc := range dep.LocationOf {
+		if loc < 0 {
+			fmt.Printf("  UAV %-2d  grounded                 (cap %d)\n", uav, sc.UAVs[uav].Capacity)
+			continue
+		}
+		col, row := sc.Grid.CellAt(loc)
+		fmt.Printf("  UAV %-2d  cell (%d,%d)  serves %-4d (cap %d)\n",
+			uav, col, row, dep.Assignment.PerStation[uav], sc.UAVs[uav].Capacity)
+	}
+	if showMap {
+		fmt.Println(asciiMap(in, dep))
+	}
+	fmt.Println()
+}
+
+// asciiMap draws the grid: '.' empty cell, digits = user density decile,
+// '#' a cell with a deployed UAV.
+func asciiMap(in *uavnet.Instance, dep *uavnet.Deployment) string {
+	sc := in.Scenario
+	cols, rows := sc.Grid.Cols(), sc.Grid.Rows()
+	counts := make([]int, sc.M())
+	maxCount := 1
+	for _, u := range sc.Users {
+		c := sc.Grid.CellOf(u.Pos)
+		counts[c]++
+		if counts[c] > maxCount {
+			maxCount = counts[c]
+		}
+	}
+	hasUAV := make([]bool, sc.M())
+	for _, loc := range dep.LocationOf {
+		if loc >= 0 {
+			hasUAV[loc] = true
+		}
+	}
+	var b strings.Builder
+	b.WriteString("map (rows top-down, # = UAV, digit = user density 0-9):\n")
+	for row := rows - 1; row >= 0; row-- {
+		b.WriteString("  ")
+		for col := 0; col < cols; col++ {
+			cell := sc.Grid.CellIndex(col, row)
+			switch {
+			case hasUAV[cell]:
+				b.WriteByte('#')
+			case counts[cell] == 0:
+				b.WriteByte('.')
+			default:
+				d := counts[cell] * 9 / maxCount
+				b.WriteByte(byte('0' + d))
+			}
+			b.WriteByte(' ')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

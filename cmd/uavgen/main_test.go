@@ -1,0 +1,31 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/uav-coverage/uavnet/internal/workload"
+)
+
+func TestParseDistribution(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    workload.Distribution
+		wantErr bool
+	}{
+		{"fat-tailed", workload.FatTailed, false},
+		{"uniform", workload.Uniform, false},
+		{"hotspot", workload.SingleHotspot, false},
+		{"nope", 0, true},
+		{"", 0, true},
+	}
+	for _, tc := range tests {
+		got, err := parseDistribution(tc.in)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("parseDistribution(%q) error = %v, wantErr %v", tc.in, err, tc.wantErr)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("parseDistribution(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

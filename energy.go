@@ -1,0 +1,33 @@
+package uavnet
+
+import "github.com/uav-coverage/uavnet/internal/energy"
+
+// Energy facade (see internal/energy): hover power and endurance models
+// that quantify the payload/battery heterogeneity motivating the paper.
+type (
+	// EnergyProfile describes one UAV's power-relevant parameters.
+	EnergyProfile = energy.Profile
+	// MissionEndurance reports per-UAV and network endurance.
+	MissionEndurance = energy.MissionEndurance
+)
+
+// Reference airframes named by the paper (Section I).
+var (
+	// MatriceM600 approximates a DJI Matrice 600 with a full LTE payload.
+	MatriceM600 = energy.MatriceM600
+	// MatriceM300 approximates a DJI Matrice 300 RTK with a light payload.
+	MatriceM300 = energy.MatriceM300
+)
+
+// NetworkEndurance computes how long a deployed fleet can hover before the
+// first UAV must rotate out.
+func NetworkEndurance(fleet []EnergyProfile) (MissionEndurance, error) {
+	return energy.NetworkEndurance(fleet)
+}
+
+// RotationPlan returns the number of relief sorties per UAV slot needed to
+// sustain a mission of missionMin minutes, given per-battery endurance and
+// the swap overhead (fly-out + fly-in + handover).
+func RotationPlan(enduranceMin, swapOverheadMin, missionMin float64) (int, error) {
+	return energy.RotationPlan(enduranceMin, swapOverheadMin, missionMin)
+}

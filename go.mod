@@ -1,0 +1,3 @@
+module github.com/uav-coverage/uavnet
+
+go 1.22

@@ -1,0 +1,76 @@
+package assign
+
+import (
+	"fmt"
+
+	"github.com/uav-coverage/uavnet/internal/flow"
+)
+
+// LinkCost returns the non-negative cost of serving a user from a station;
+// the deployment library uses the link's mean pathloss in milli-dB so that
+// integer costs retain three decimals of precision.
+type LinkCost func(user, station int) int64
+
+// SolveMinCost computes an assignment that first maximizes the number of
+// served users (exactly as Solve, Lemma 1) and, among all such maximum
+// assignments, minimizes the total link cost. It reduces to a minimum-cost
+// maximum flow: successive shortest paths yield the cheapest flow of every
+// value, so the final max flow is also cost-minimal.
+func SolveMinCost(p Problem, cost LinkCost) (Assignment, int64, error) {
+	if err := p.Validate(); err != nil {
+		return Assignment{}, 0, err
+	}
+	if cost == nil {
+		return Assignment{}, 0, fmt.Errorf("assign: nil cost function")
+	}
+	n, k := p.NumUsers, len(p.Capacities)
+	cn := flow.NewCostNetwork(2 + n + k)
+	const s, t = 0, 1
+	userNode := func(i int) int { return 2 + i }
+	stationNode := func(j int) int { return 2 + n + j }
+
+	for i := 0; i < n; i++ {
+		if _, err := cn.AddEdge(s, userNode(i), 1, 0); err != nil {
+			return Assignment{}, 0, err
+		}
+	}
+	type link struct {
+		user, station, handle int
+	}
+	var links []link
+	for j := 0; j < k; j++ {
+		for _, u := range p.Eligible[j] {
+			c := cost(u, j)
+			if c < 0 {
+				return Assignment{}, 0, fmt.Errorf("assign: negative cost %d for user %d station %d", c, u, j)
+			}
+			h, err := cn.AddEdge(userNode(u), stationNode(j), 1, c)
+			if err != nil {
+				return Assignment{}, 0, err
+			}
+			links = append(links, link{user: u, station: j, handle: h})
+		}
+		if _, err := cn.AddEdge(stationNode(j), t, p.Capacities[j], 0); err != nil {
+			return Assignment{}, 0, err
+		}
+	}
+	served, totalCost, err := cn.MinCostMaxFlow(s, t)
+	if err != nil {
+		return Assignment{}, 0, err
+	}
+	out := Assignment{
+		Served:      served,
+		UserStation: make([]int, n),
+		PerStation:  make([]int, k),
+	}
+	for i := range out.UserStation {
+		out.UserStation[i] = Unassigned
+	}
+	for _, l := range links {
+		if cn.Flow(l.handle) == 1 {
+			out.UserStation[l.user] = l.station
+			out.PerStation[l.station]++
+		}
+	}
+	return out, totalCost, nil
+}

@@ -1,0 +1,134 @@
+package assign
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSolveMinCostPrefersCheapLinks(t *testing.T) {
+	// Two stations can each serve both users (capacity 1 each). Costs make
+	// the crossed assignment cheaper.
+	p := Problem{
+		NumUsers:   2,
+		Capacities: []int{1, 1},
+		Eligible:   [][]int{{0, 1}, {0, 1}},
+	}
+	cost := func(user, station int) int64 {
+		if user == station {
+			return 10
+		}
+		return 1
+	}
+	a, total, err := SolveMinCost(p, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Served != 2 {
+		t.Fatalf("Served = %d, want 2", a.Served)
+	}
+	if total != 2 {
+		t.Errorf("total cost = %d, want 2 (crossed assignment)", total)
+	}
+	if a.UserStation[0] != 1 || a.UserStation[1] != 0 {
+		t.Errorf("assignment %v, want crossed", a.UserStation)
+	}
+}
+
+func TestSolveMinCostNeverSacrificesCoverage(t *testing.T) {
+	// Serving user 1 via station 0 is expensive, but refusing it would
+	// reduce coverage: coverage must win over cost.
+	p := Problem{
+		NumUsers:   2,
+		Capacities: []int{1, 1},
+		Eligible:   [][]int{{0, 1}, {0}},
+	}
+	cost := func(user, station int) int64 {
+		if user == 1 {
+			return 1000
+		}
+		return 1
+	}
+	a, total, err := SolveMinCost(p, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Served != 2 {
+		t.Fatalf("Served = %d, want 2 even though costly", a.Served)
+	}
+	if total != 1001 {
+		t.Errorf("total = %d, want 1001", total)
+	}
+}
+
+func TestSolveMinCostErrors(t *testing.T) {
+	p := Problem{NumUsers: 1, Capacities: []int{1}, Eligible: [][]int{{0}}}
+	if _, _, err := SolveMinCost(p, nil); err == nil {
+		t.Error("nil cost should fail")
+	}
+	if _, _, err := SolveMinCost(p, func(int, int) int64 { return -1 }); err == nil {
+		t.Error("negative cost should fail")
+	}
+	bad := Problem{NumUsers: -1}
+	if _, _, err := SolveMinCost(bad, func(int, int) int64 { return 0 }); err == nil {
+		t.Error("invalid problem should fail")
+	}
+}
+
+func TestSolveMinCostMatchesSolveOnServedProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 80; trial++ {
+		n := 1 + r.Intn(8)
+		k := 1 + r.Intn(3)
+		p := Problem{NumUsers: n, Capacities: make([]int, k), Eligible: make([][]int, k)}
+		for j := 0; j < k; j++ {
+			p.Capacities[j] = r.Intn(4)
+			for u := 0; u < n; u++ {
+				if r.Intn(2) == 0 {
+					p.Eligible[j] = append(p.Eligible[j], u)
+				}
+			}
+		}
+		costs := make(map[[2]int]int64)
+		cost := func(u, j int) int64 {
+			key := [2]int{u, j}
+			if c, ok := costs[key]; ok {
+				return c
+			}
+			c := int64(r.Intn(50))
+			costs[key] = c
+			return c
+		}
+		plain, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc, total, err := SolveMinCost(p, cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mc.Served != plain.Served {
+			t.Fatalf("trial %d: min-cost served %d != plain %d", trial, mc.Served, plain.Served)
+		}
+		checkFeasible(t, p, mc)
+		// The min-cost assignment's cost must not exceed the plain one's.
+		var plainCost int64
+		for u, st := range plain.UserStation {
+			if st != Unassigned {
+				plainCost += cost(u, st)
+			}
+		}
+		if total > plainCost {
+			t.Fatalf("trial %d: min-cost total %d > plain assignment cost %d", trial, total, plainCost)
+		}
+		// Verify the reported total against the assignment itself.
+		var recomputed int64
+		for u, st := range mc.UserStation {
+			if st != Unassigned {
+				recomputed += cost(u, st)
+			}
+		}
+		if recomputed != total {
+			t.Fatalf("trial %d: reported %d != recomputed %d", trial, total, recomputed)
+		}
+	}
+}

@@ -1,0 +1,416 @@
+// Package baseline reimplements the four comparison algorithms of the
+// paper's evaluation (Section IV-A). All four were designed for homogeneous
+// UAVs; their defining behaviours are preserved, and — exactly as the paper
+// argues — their capacity-obliviousness is what the heterogeneous-aware
+// approAlg beats:
+//
+//   - MCS (Kuo et al. [14]): connectivity-constrained submodular greedy —
+//     grow a connected set from every root, keep the best.
+//   - MotionCtrl (Zhao et al. [45]): motion control — start from a compact
+//     connected formation and hill-climb with connectivity-preserving
+//     single-cell moves.
+//   - GreedyAssign (Khuller et al. [13]): assign each candidate location a
+//     profit greedily, then build a connected K-set maximizing profit.
+//   - MaxThroughput (Xu et al. [37]): approAlg-like single-anchor greedy
+//     that maximizes the sum of user data rates with a homogeneous (mean)
+//     capacity.
+//
+// Placement decisions ignore per-UAV capacities (the homogeneity
+// assumption); UAVs are then mapped onto the chosen cells in fleet order,
+// and every returned deployment is scored with the true heterogeneous model
+// via the optimal max-flow assignment, so the comparison against approAlg is
+// on equal footing.
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/uav-coverage/uavnet/internal/core"
+	"github.com/uav-coverage/uavnet/internal/geom"
+)
+
+// homogeneousClass returns the eligibility class the capacity-oblivious
+// baselines plan with: the class with the most UAVs (ties broken by the
+// lower class id), i.e. the fleet's "typical" radio.
+func homogeneousClass(in *core.Instance) int {
+	counts := map[int]int{}
+	for _, c := range in.ClassOf {
+		counts[c]++
+	}
+	best, bestCount := 0, -1
+	for c := 0; c < len(in.Eligible); c++ {
+		if counts[c] > bestCount {
+			best, bestCount = c, counts[c]
+		}
+	}
+	return best
+}
+
+// finalize maps UAVs onto the chosen cells in fleet order (capacity-
+// oblivious, as a homogeneous algorithm would) and scores the placement
+// with the true heterogeneous assignment oracle.
+func finalize(in *core.Instance, name string, locs []int) (*core.Deployment, error) {
+	k := in.Scenario.K()
+	if len(locs) > k {
+		return nil, fmt.Errorf("baseline %s: chose %d cells for %d UAVs", name, len(locs), k)
+	}
+	locationOf := make([]int, k)
+	for i := range locationOf {
+		locationOf[i] = -1
+	}
+	for i, loc := range locs {
+		locationOf[i] = loc
+	}
+	dep, err := core.EvaluateFixed(in, locationOf)
+	if err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", name, err)
+	}
+	dep.Algorithm = name
+	return dep, nil
+}
+
+// marginalCover returns the number of users in the class-eligibility list of loc
+// that are not yet marked covered, optionally marking them.
+func marginalCover(eligible [][]int, loc int, covered []bool, mark bool) int {
+	gain := 0
+	for _, u := range eligible[loc] {
+		if !covered[u] {
+			gain++
+			if mark {
+				covered[u] = true
+			}
+		}
+	}
+	return gain
+}
+
+// MCS implements the connectivity-constrained submodular greedy of Kuo et
+// al. [14]: for every root location, grow a connected set one adjacent cell
+// at a time, always taking the cell with the largest marginal user coverage;
+// return the best-rooted result.
+func MCS(in *core.Instance) (*core.Deployment, error) {
+	sc := in.Scenario
+	k, m := sc.K(), sc.M()
+	eligible := in.Eligible[homogeneousClass(in)]
+
+	bestLocs, bestCover := []int(nil), -1
+	for root := 0; root < m; root++ {
+		covered := make([]bool, sc.N())
+		locs := []int{root}
+		inSet := map[int]bool{root: true}
+		total := marginalCover(eligible, root, covered, true)
+		for len(locs) < k {
+			bestLoc, bestGain := -1, -1
+			for _, v := range locs {
+				for _, nb := range in.LocGraph.Neighbors(v) {
+					if inSet[nb] {
+						continue
+					}
+					if g := marginalCover(eligible, nb, covered, false); g > bestGain ||
+						(g == bestGain && bestLoc != -1 && nb < bestLoc) {
+						bestLoc, bestGain = nb, g
+					}
+				}
+			}
+			if bestLoc == -1 {
+				break // no adjacent free cell
+			}
+			locs = append(locs, bestLoc)
+			inSet[bestLoc] = true
+			total += marginalCover(eligible, bestLoc, covered, true)
+		}
+		if total > bestCover || (total == bestCover && less(locs, bestLocs)) {
+			bestCover = total
+			bestLocs = append([]int(nil), locs...)
+		}
+	}
+	if bestLocs == nil {
+		return nil, fmt.Errorf("baseline MCS: no locations available")
+	}
+	return finalize(in, "MCS", bestLocs)
+}
+
+// less orders location slices lexicographically for deterministic
+// tie-breaking across roots.
+func less(a, b []int) bool {
+	if b == nil {
+		return true
+	}
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// MotionCtrl implements the motion-control deployment of Zhao et al. [45]:
+// the fleet starts in a compact connected formation centered on the densest
+// cell and repeatedly makes the single connectivity-preserving one-cell move
+// that most increases total coverage, until a local optimum.
+func MotionCtrl(in *core.Instance) (*core.Deployment, error) {
+	sc := in.Scenario
+	k, m := sc.K(), sc.M()
+	eligible := in.Eligible[homogeneousClass(in)]
+
+	// Start: BFS formation around the densest single cell.
+	denseRoot, denseCover := 0, -1
+	for v := 0; v < m; v++ {
+		if c := len(eligible[v]); c > denseCover {
+			denseRoot, denseCover = v, c
+		}
+	}
+	dist := in.LocGraph.BFS(denseRoot)
+	order := make([]int, 0, m)
+	for v := 0; v < m; v++ {
+		if dist[v] >= 0 {
+			order = append(order, v)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if dist[order[i]] != dist[order[j]] {
+			return dist[order[i]] < dist[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	if len(order) > k {
+		order = order[:k]
+	}
+	locs := append([]int(nil), order...)
+
+	cover := func(ls []int) int {
+		covered := make([]bool, sc.N())
+		total := 0
+		for _, v := range ls {
+			total += marginalCover(eligible, v, covered, true)
+		}
+		return total
+	}
+	current := cover(locs)
+
+	const maxIters = 200
+	for iter := 0; iter < maxIters; iter++ {
+		bestGain, bestIdx, bestDst := 0, -1, -1
+		occupied := map[int]bool{}
+		for _, v := range locs {
+			occupied[v] = true
+		}
+		for i, v := range locs {
+			for _, nb := range in.LocGraph.Neighbors(v) {
+				if occupied[nb] {
+					continue
+				}
+				trial := append([]int(nil), locs...)
+				trial[i] = nb
+				if !in.LocGraph.Connected(trial) {
+					continue
+				}
+				if g := cover(trial) - current; g > bestGain ||
+					(g == bestGain && g > 0 && (bestIdx == -1 || nb < bestDst)) {
+					bestGain, bestIdx, bestDst = g, i, nb
+				}
+			}
+		}
+		if bestIdx == -1 || bestGain <= 0 {
+			break
+		}
+		locs[bestIdx] = bestDst
+		current += bestGain
+	}
+	return finalize(in, "MotionCtrl", locs)
+}
+
+// GreedyAssign implements the profit-greedy connected selection of Khuller
+// et al. [13]: each location gets a profit equal to its marginal coverage at
+// the moment the plain greedy would pick it; the deployment then grows a
+// connected set from the most profitable location, always adding the
+// adjacent cell of maximum profit.
+func GreedyAssign(in *core.Instance) (*core.Deployment, error) {
+	sc := in.Scenario
+	k, m := sc.K(), sc.M()
+	eligible := in.Eligible[homogeneousClass(in)]
+
+	// Phase 1: greedy profits.
+	profit := make([]int, m)
+	covered := make([]bool, sc.N())
+	chosen := make([]bool, m)
+	for round := 0; round < m; round++ {
+		bestLoc, bestGain := -1, -1
+		for v := 0; v < m; v++ {
+			if chosen[v] {
+				continue
+			}
+			if g := marginalCover(eligible, v, covered, false); g > bestGain {
+				bestLoc, bestGain = v, g
+			}
+		}
+		if bestLoc == -1 {
+			break
+		}
+		chosen[bestLoc] = true
+		profit[bestLoc] = marginalCover(eligible, bestLoc, covered, true)
+	}
+
+	// Phase 2: grow a connected set from the best seed by profit.
+	seed := 0
+	for v := 1; v < m; v++ {
+		if profit[v] > profit[seed] {
+			seed = v
+		}
+	}
+	locs := []int{seed}
+	inSet := map[int]bool{seed: true}
+	for len(locs) < k {
+		bestLoc := -1
+		for _, v := range locs {
+			for _, nb := range in.LocGraph.Neighbors(v) {
+				if inSet[nb] {
+					continue
+				}
+				if bestLoc == -1 || profit[nb] > profit[bestLoc] ||
+					(profit[nb] == profit[bestLoc] && nb < bestLoc) {
+					bestLoc = nb
+				}
+			}
+		}
+		if bestLoc == -1 {
+			break
+		}
+		locs = append(locs, bestLoc)
+		inSet[bestLoc] = true
+	}
+	return finalize(in, "GreedyAssign", locs)
+}
+
+// MaxThroughput implements the throughput-maximizing placement of Xu et
+// al. [37] adapted to our setting: a single-anchor connected greedy whose
+// objective is the sum of served users' data rates under a homogeneous
+// capacity equal to the fleet's mean. Users are credited greedily by rate.
+func MaxThroughput(in *core.Instance) (*core.Deployment, error) {
+	sc := in.Scenario
+	k, m := sc.K(), sc.M()
+	class := homogeneousClass(in)
+	eligible := in.Eligible[class]
+
+	meanCap := 0
+	for _, u := range sc.UAVs {
+		meanCap += u.Capacity
+	}
+	meanCap /= k
+	if meanCap < 1 {
+		meanCap = 1
+	}
+
+	// Precompute per-location user rates for the homogeneous class, sorted
+	// by decreasing rate so the greedy credit is O(eligible).
+	tx := sc.UAVs[indexOfClass(in, class)].Tx
+	alt := sc.Grid.Altitude
+	type ratedUser struct {
+		user int
+		rate float64
+	}
+	rates := make([][]ratedUser, m)
+	for v := 0; v < m; v++ {
+		list := make([]ratedUser, 0, len(eligible[v]))
+		for _, u := range eligible[v] {
+			d := geom.Dist2(sc.Users[u].Pos, in.Centers[v])
+			list = append(list, ratedUser{user: u, rate: sc.Channel.UserRateBps(tx, d, alt)})
+		}
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].rate != list[j].rate {
+				return list[i].rate > list[j].rate
+			}
+			return list[i].user < list[j].user
+		})
+		rates[v] = list
+	}
+
+	// marginalRate credits up to meanCap still-unserved users by rate.
+	marginalRate := func(v int, servedSet []bool, mark bool) float64 {
+		total := 0.0
+		credited := 0
+		for _, ru := range rates[v] {
+			if credited == meanCap {
+				break
+			}
+			if servedSet[ru.user] {
+				continue
+			}
+			total += ru.rate
+			credited++
+			if mark {
+				servedSet[ru.user] = true
+			}
+		}
+		return total
+	}
+
+	bestLocs, bestVal := []int(nil), -1.0
+	for anchor := 0; anchor < m; anchor++ {
+		served := make([]bool, sc.N())
+		locs := []int{anchor}
+		inSet := map[int]bool{anchor: true}
+		total := marginalRate(anchor, served, true)
+		for len(locs) < k {
+			bestLoc, bestGain := -1, -1.0
+			for _, v := range locs {
+				for _, nb := range in.LocGraph.Neighbors(v) {
+					if inSet[nb] {
+						continue
+					}
+					if g := marginalRate(nb, served, false); g > bestGain ||
+						(g == bestGain && bestLoc != -1 && nb < bestLoc) {
+						bestLoc, bestGain = nb, g
+					}
+				}
+			}
+			if bestLoc == -1 {
+				break
+			}
+			locs = append(locs, bestLoc)
+			inSet[bestLoc] = true
+			total += marginalRate(bestLoc, served, true)
+		}
+		if total > bestVal || (total == bestVal && less(locs, bestLocs)) {
+			bestVal = total
+			bestLocs = append([]int(nil), locs...)
+		}
+	}
+	if bestLocs == nil {
+		return nil, fmt.Errorf("baseline MaxThroughput: no locations available")
+	}
+	return finalize(in, "maxThroughput", bestLocs)
+}
+
+// indexOfClass returns some UAV index belonging to the class.
+func indexOfClass(in *core.Instance, class int) int {
+	for k, c := range in.ClassOf {
+		if c == class {
+			return k
+		}
+	}
+	return 0
+}
+
+// ByName returns the baseline algorithm with the given name. Recognized
+// names: "MCS", "MotionCtrl", "GreedyAssign", "maxThroughput".
+func ByName(name string) (func(*core.Instance) (*core.Deployment, error), error) {
+	switch name {
+	case "MCS":
+		return MCS, nil
+	case "MotionCtrl":
+		return MotionCtrl, nil
+	case "GreedyAssign":
+		return GreedyAssign, nil
+	case "maxThroughput":
+		return MaxThroughput, nil
+	default:
+		return nil, fmt.Errorf("baseline: unknown algorithm %q", name)
+	}
+}
+
+// Names lists the available baseline algorithms in the paper's order.
+func Names() []string {
+	return []string{"MCS", "MotionCtrl", "GreedyAssign", "maxThroughput"}
+}

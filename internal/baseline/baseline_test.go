@@ -1,0 +1,281 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/uav-coverage/uavnet/internal/assign"
+	"github.com/uav-coverage/uavnet/internal/channel"
+	"github.com/uav-coverage/uavnet/internal/core"
+	"github.com/uav-coverage/uavnet/internal/geom"
+)
+
+func testScenario(users []geom.Point2, caps []int) *core.Scenario {
+	sc := &core.Scenario{
+		Grid:     geom.Grid{Length: 2000, Width: 2000, Side: 500, Altitude: 300},
+		UAVRange: 750,
+		Channel:  channel.DefaultParams(),
+	}
+	for _, p := range users {
+		sc.Users = append(sc.Users, core.User{Pos: p})
+	}
+	for _, c := range caps {
+		sc.UAVs = append(sc.UAVs, core.UAV{
+			Capacity:  c,
+			Tx:        channel.Transmitter{PowerDBm: 30, AntennaGainDBi: 3},
+			UserRange: 300,
+		})
+	}
+	return sc
+}
+
+func randomInstance(t *testing.T, seed int64, n, k int) *core.Instance {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	var users []geom.Point2
+	for i := 0; i < n; i++ {
+		users = append(users, geom.Point2{X: r.Float64() * 2000, Y: r.Float64() * 2000})
+	}
+	caps := make([]int, k)
+	for i := range caps {
+		caps[i] = 1 + r.Intn(6)
+	}
+	in, err := core.NewInstance(testScenario(users, caps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// checkFeasible verifies the deployment satisfies the problem constraints.
+func checkFeasible(t *testing.T, in *core.Instance, dep *core.Deployment) {
+	t.Helper()
+	sc := in.Scenario
+	if dep.DeployedCount() > sc.K() {
+		t.Errorf("%s deployed %d > K = %d", dep.Algorithm, dep.DeployedCount(), sc.K())
+	}
+	if !in.LocGraph.Connected(dep.DeployedLocations()) {
+		t.Errorf("%s deployment %v not connected", dep.Algorithm, dep.DeployedLocations())
+	}
+	perUAV := make([]int, sc.K())
+	for i, uav := range dep.Assignment.UserStation {
+		if uav == assign.Unassigned {
+			continue
+		}
+		perUAV[uav]++
+		loc := dep.LocationOf[uav]
+		if loc < 0 {
+			t.Fatalf("%s: user %d on grounded UAV %d", dep.Algorithm, i, uav)
+		}
+		found := false
+		for _, e := range in.EligibleUsers(uav, loc) {
+			if e == i {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: user %d infeasibly assigned", dep.Algorithm, i)
+		}
+	}
+	for k, c := range perUAV {
+		if c > sc.UAVs[k].Capacity {
+			t.Errorf("%s: UAV %d over capacity (%d > %d)", dep.Algorithm, k, c, sc.UAVs[k].Capacity)
+		}
+	}
+}
+
+func runAll(t *testing.T, in *core.Instance) map[string]*core.Deployment {
+	t.Helper()
+	out := map[string]*core.Deployment{}
+	for _, name := range Names() {
+		alg, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dep, err := alg(in)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkFeasible(t, in, dep)
+		out[name] = dep
+	}
+	return out
+}
+
+func TestAllBaselinesFeasibleOnRandomInstances(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		in := randomInstance(t, seed, 30+int(seed)*10, 3+int(seed%3))
+		runAll(t, in)
+	}
+}
+
+func TestBaselinesServeObviousCluster(t *testing.T) {
+	// All users in one cell, ample capacity: every baseline should serve all.
+	sc := testScenario(nil, []int{10, 10})
+	for i := 0; i < 6; i++ {
+		sc.Users = append(sc.Users, core.User{Pos: sc.Grid.Center(1, 1)})
+	}
+	in, err := core.NewInstance(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, dep := range runAll(t, in) {
+		if dep.Served != 6 {
+			t.Errorf("%s served %d, want 6", name, dep.Served)
+		}
+	}
+}
+
+func TestBaselinesAreCapacityOblivious(t *testing.T) {
+	// A dense cell of 20 users and a fleet whose FIRST UAV is tiny: the
+	// homogeneous baselines map UAVs in fleet order, so the tiny UAV lands
+	// on the dense cell and coverage suffers versus approAlg.
+	sc := testScenario(nil, []int{1, 20})
+	for i := 0; i < 20; i++ {
+		sc.Users = append(sc.Users, core.User{Pos: sc.Grid.Center(1, 1)})
+	}
+	in, err := core.NewInstance(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deps := runAll(t, in)
+	apx, err := core.Approx(in, core.Options{S: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFeasible(t, in, apx)
+	if apx.Served != 20 {
+		t.Fatalf("approAlg served %d, want 20", apx.Served)
+	}
+	for name, dep := range deps {
+		if dep.Served > apx.Served {
+			t.Errorf("%s served %d > approAlg %d", name, dep.Served, apx.Served)
+		}
+	}
+	// GreedyAssign seeds its set with the highest-profit cell and MotionCtrl
+	// starts its formation on the densest cell, so both deterministically put
+	// the FIRST fleet UAV (capacity 1) on the 20-user cell: they serve 1.
+	// (MCS and maxThroughput may get lucky through root tie-breaking, so the
+	// capacity-oblivious penalty is only asserted for these two.)
+	for _, name := range []string{"GreedyAssign", "MotionCtrl"} {
+		if deps[name].Served != 1 {
+			t.Errorf("%s served %d, expected capacity-oblivious mapping to serve 1",
+				name, deps[name].Served)
+		}
+	}
+}
+
+func TestMCSPicksDensestRegion(t *testing.T) {
+	sc := testScenario(nil, []int{5})
+	for i := 0; i < 5; i++ {
+		sc.Users = append(sc.Users, core.User{Pos: sc.Grid.Center(3, 3)})
+	}
+	sc.Users = append(sc.Users, core.User{Pos: sc.Grid.Center(0, 0)})
+	in, err := core.NewInstance(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := MCS(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.LocationOf[0] != sc.Grid.CellIndex(3, 3) {
+		t.Errorf("MCS placed UAV at %d, want dense cell %d", dep.LocationOf[0], sc.Grid.CellIndex(3, 3))
+	}
+	if dep.Served != 5 {
+		t.Errorf("MCS served %d, want 5", dep.Served)
+	}
+}
+
+func TestMotionCtrlImprovesOverStart(t *testing.T) {
+	// Users live in a far corner; the initial compact formation must migrate
+	// toward them.
+	sc := testScenario(nil, []int{4, 4})
+	for i := 0; i < 8; i++ {
+		sc.Users = append(sc.Users, core.User{Pos: sc.Grid.Center(3, 0)})
+	}
+	in, err := core.NewInstance(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := MotionCtrl(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Served == 0 {
+		t.Error("MotionCtrl failed to move toward the users")
+	}
+}
+
+func TestGreedyAssignProfitSeeding(t *testing.T) {
+	sc := testScenario(nil, []int{3, 3})
+	for i := 0; i < 4; i++ {
+		sc.Users = append(sc.Users, core.User{Pos: sc.Grid.Center(2, 2)})
+	}
+	in, err := core.NewInstance(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := GreedyAssign(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.LocationOf[0] != sc.Grid.CellIndex(2, 2) {
+		t.Errorf("GreedyAssign seed at %d, want highest-profit cell %d",
+			dep.LocationOf[0], sc.Grid.CellIndex(2, 2))
+	}
+}
+
+func TestMaxThroughputPrefersCloseUsers(t *testing.T) {
+	// Users at cell (0,0); throughput greedy should anchor on that cell
+	// since nearby users have the highest rates.
+	sc := testScenario(nil, []int{2})
+	for i := 0; i < 2; i++ {
+		sc.Users = append(sc.Users, core.User{Pos: sc.Grid.Center(0, 0)})
+	}
+	in, err := core.NewInstance(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := MaxThroughput(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.LocationOf[0] != 0 {
+		t.Errorf("maxThroughput anchored at %d, want 0", dep.LocationOf[0])
+	}
+	if dep.Served != 2 {
+		t.Errorf("maxThroughput served %d, want 2", dep.Served)
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name should fail")
+	}
+}
+
+func TestNamesStable(t *testing.T) {
+	want := []string{"MCS", "MotionCtrl", "GreedyAssign", "maxThroughput"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Names()[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBaselinesDeterministic(t *testing.T) {
+	in := randomInstance(t, 99, 40, 4)
+	first := runAll(t, in)
+	second := runAll(t, in)
+	for name := range first {
+		if first[name].Served != second[name].Served {
+			t.Errorf("%s not deterministic: %d vs %d", name, first[name].Served, second[name].Served)
+		}
+	}
+}

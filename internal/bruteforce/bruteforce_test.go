@@ -1,0 +1,193 @@
+package bruteforce
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/uav-coverage/uavnet/internal/channel"
+	"github.com/uav-coverage/uavnet/internal/core"
+	"github.com/uav-coverage/uavnet/internal/geom"
+)
+
+// tinyScenario builds a 3x3-cell scenario with purely geometric eligibility.
+func tinyScenario(users []geom.Point2, caps []int) *core.Scenario {
+	sc := &core.Scenario{
+		Grid:     geom.Grid{Length: 1500, Width: 1500, Side: 500, Altitude: 300},
+		UAVRange: 600,
+		Channel:  channel.DefaultParams(),
+	}
+	for _, p := range users {
+		sc.Users = append(sc.Users, core.User{Pos: p})
+	}
+	for _, c := range caps {
+		sc.UAVs = append(sc.UAVs, core.UAV{
+			Capacity:  c,
+			Tx:        channel.Transmitter{PowerDBm: 30, AntennaGainDBi: 3},
+			UserRange: 300,
+		})
+	}
+	return sc
+}
+
+func TestOptimalSimple(t *testing.T) {
+	// 5 users in one cell, UAV capacities 3 and 2 in adjacent cells: all 5
+	// users cannot be served from one cell (one UAV per cell), so the
+	// optimum is 3 + nearby placement... here users sit in cell (1,1) only,
+	// so only the UAV placed on that cell serves them: optimum = 3.
+	sc := tinyScenario(nil, []int{3, 2})
+	for i := 0; i < 5; i++ {
+		sc.Users = append(sc.Users, core.User{Pos: sc.Grid.Center(1, 1)})
+	}
+	in, err := core.NewInstance(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := Optimal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Served != 3 {
+		t.Errorf("Served = %d, want 3", dep.Served)
+	}
+	if dep.LocationOf[0] != sc.Grid.CellIndex(1, 1) {
+		t.Errorf("capacity-3 UAV should take the dense cell, got %v", dep.LocationOf)
+	}
+}
+
+func TestOptimalRespectsConnectivity(t *testing.T) {
+	// Users in two far-apart cells (0,0) and (2,2); two UAVs cannot be both
+	// placed there (4 hops apart), so the optimum serves only one cell's
+	// users plus whatever the second UAV reaches nearby.
+	sc := tinyScenario(nil, []int{5, 5})
+	for i := 0; i < 4; i++ {
+		sc.Users = append(sc.Users, core.User{Pos: sc.Grid.Center(0, 0)})
+		sc.Users = append(sc.Users, core.User{Pos: sc.Grid.Center(2, 2)})
+	}
+	in, err := core.NewInstance(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := Optimal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Served != 4 {
+		t.Errorf("Served = %d, want 4 (one cluster only)", dep.Served)
+	}
+	if !in.LocGraph.Connected(dep.DeployedLocations()) {
+		t.Error("optimal deployment is not connected")
+	}
+}
+
+func TestOptimalSafetyLimits(t *testing.T) {
+	big := tinyScenario(nil, []int{1})
+	big.Grid = geom.Grid{Length: 5000, Width: 5000, Side: 500, Altitude: 300} // 100 cells
+	in, err := core.NewInstance(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Optimal(in); err == nil {
+		t.Error("expected location-limit error")
+	}
+
+	many := tinyScenario(nil, []int{1, 1, 1, 1, 1, 1, 1})
+	in2, err := core.NewInstance(many)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Optimal(in2); err == nil {
+		t.Error("expected UAV-limit error")
+	}
+}
+
+func TestOptimalNoUsers(t *testing.T) {
+	sc := tinyScenario(nil, []int{2, 2})
+	in, err := core.NewInstance(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := Optimal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Served != 0 {
+		t.Errorf("Served = %d, want 0", dep.Served)
+	}
+}
+
+// TestApproxNeverBeatsOptimal also checks feasibility of both solvers on
+// random tiny instances.
+func TestApproxNeverBeatsOptimalProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 25; trial++ {
+		nUsers := 1 + r.Intn(12)
+		k := 2 + r.Intn(2)
+		caps := make([]int, k)
+		for i := range caps {
+			caps[i] = 1 + r.Intn(4)
+		}
+		var users []geom.Point2
+		for i := 0; i < nUsers; i++ {
+			users = append(users, geom.Point2{X: r.Float64() * 1500, Y: r.Float64() * 1500})
+		}
+		sc := tinyScenario(users, caps)
+		in, err := core.NewInstance(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := Optimal(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		apx, err := core.Approx(in, core.Options{S: 2, Workers: 2})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if apx.Served > opt.Served {
+			t.Fatalf("trial %d: approx %d beats optimum %d", trial, apx.Served, opt.Served)
+		}
+	}
+}
+
+// TestTheoremOneRatio checks the end-to-end approximation guarantee on tiny
+// random instances: served(approx) >= ratio * OPT with the Theorem 1 ratio
+// 1/(3*ceil((2K-2)/L1)).
+func TestTheoremOneRatioProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 20; trial++ {
+		nUsers := 2 + r.Intn(10)
+		k := 2 + r.Intn(3)
+		s := 1 + r.Intn(2)
+		caps := make([]int, k)
+		for i := range caps {
+			caps[i] = 1 + r.Intn(5)
+		}
+		var users []geom.Point2
+		for i := 0; i < nUsers; i++ {
+			users = append(users, geom.Point2{X: r.Float64() * 1500, Y: r.Float64() * 1500})
+		}
+		sc := tinyScenario(users, caps)
+		in, err := core.NewInstance(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := Optimal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		apx, err := core.Approx(in, core.Options{S: s, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := core.ApproxRatio(k, s)
+		if ratio <= 0 {
+			continue
+		}
+		want := int(math.Floor(ratio * float64(opt.Served)))
+		if apx.Served < want {
+			t.Fatalf("trial %d (K=%d s=%d): approx %d < ratio %.3f * OPT %d",
+				trial, k, s, apx.Served, ratio, opt.Served)
+		}
+	}
+}

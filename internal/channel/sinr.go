@@ -1,0 +1,34 @@
+package channel
+
+import "math"
+
+// The paper's model (Section II-B) is interference-free: each user's rate
+// depends only on its own UAV's SNR, which is accurate when neighboring
+// UAVs schedule disjoint OFDMA resource blocks. Under full frequency reuse
+// (every UAV transmitting on the same block) co-channel interference
+// appears. The helpers below quantify that pessimistic end of the spectrum
+// so deployments can be audited for interference headroom.
+
+// ReceivedPowerDBm returns the power a receiver sees from a transmitter
+// across the given pathloss: P_t + g_t - PL.
+func ReceivedPowerDBm(tx Transmitter, pathLossDB float64) float64 {
+	return tx.PowerDBm + tx.AntennaGainDBi - pathLossDB
+}
+
+// dbmToMilliwatt converts dBm to linear milliwatts.
+func dbmToMilliwatt(dbm float64) float64 { return math.Pow(10, dbm/10) }
+
+// milliwattToDB converts a linear milliwatt ratio quantity back to dB.
+func milliwattToDB(mw float64) float64 { return 10 * math.Log10(mw) }
+
+// SINRdB returns the signal-to-interference-plus-noise ratio for a link
+// receiving signalDBm, with co-channel interferers received at the given
+// powers and the configured noise floor. With no interferers it equals the
+// plain SNR.
+func (p Params) SINRdB(signalDBm float64, interferersDBm []float64) float64 {
+	denom := dbmToMilliwatt(p.NoiseDBm)
+	for _, i := range interferersDBm {
+		denom += dbmToMilliwatt(i)
+	}
+	return signalDBm - milliwattToDB(denom)
+}

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQValuesPaperExample checks Eq. (1) against the worked example of
+// Fig. 2(d): s = 3, L = 10, p = (1, 2, 2, 2) gives Q0 = 10, Q1 = 7, Q2 = 1.
+func TestQValuesPaperExample(t *testing.T) {
+	p := []int{1, 2, 2, 2}
+	q := QValues(10, p)
+	want := []int{10, 7, 1}
+	if len(q) != len(want) {
+		t.Fatalf("QValues = %v, want %v", q, want)
+	}
+	for h := range want {
+		if q[h] != want[h] {
+			t.Errorf("Q[%d] = %d, want %d", h, q[h], want[h])
+		}
+	}
+}
+
+func TestHMaxPaperExample(t *testing.T) {
+	// Fig. 2(d): p1 = 1, p2 = p3 = 2, p4 = 2 -> hmax = 2.
+	if got := hMax([]int{1, 2, 2, 2}); got != 2 {
+		t.Errorf("hMax = %d, want 2", got)
+	}
+	// Middle segments count half (rounded up): p = (0, 5, 0) -> hmax = 3.
+	if got := hMax([]int{0, 5, 0}); got != 3 {
+		t.Errorf("hMax = %d, want 3", got)
+	}
+	// End segments count fully: p = (4, 0, 0) -> hmax = 4.
+	if got := hMax([]int{4, 0, 0}); got != 4 {
+		t.Errorf("hMax = %d, want 4", got)
+	}
+}
+
+func TestQValuesDecreasing(t *testing.T) {
+	for _, p := range [][]int{{1, 2, 2, 2}, {3, 0, 1}, {0, 0}, {2, 5, 1, 0, 3}} {
+		l := len(p) - 1
+		for _, v := range p {
+			l += v
+		}
+		q := QValues(l, p)
+		for h := 1; h < len(q); h++ {
+			if q[h] > q[h-1] {
+				t.Errorf("p=%v: Q not non-increasing at h=%d: %v", p, h, q)
+			}
+		}
+		// Q1 must equal the non-anchor count L - s.
+		if len(q) > 1 {
+			s := len(p) - 1
+			if q[1] != l-s {
+				t.Errorf("p=%v: Q1 = %d, want L-s = %d", p, q[1], l-s)
+			}
+		}
+	}
+}
+
+func TestGUpperClosedForm(t *testing.T) {
+	// g must equal s + sum p_i(middle) + Q1 + Q2 + ... (the relay bill),
+	// i.e. Eq. (2) equals s + sum_{i=2..s} p_i + sum_{h>=1} Q_h.
+	shapes := [][]int{
+		{1, 2, 2, 2},
+		{0, 0, 0, 0},
+		{3, 1, 4, 1},
+		{5, 5},
+		{0, 7, 0},
+		{2, 3},
+	}
+	for _, p := range shapes {
+		s := len(p) - 1
+		l := s
+		for _, v := range p {
+			l += v
+		}
+		q := QValues(l, p)
+		want := s
+		for i := 1; i < s; i++ {
+			want += p[i]
+		}
+		for h := 1; h < len(q); h++ {
+			want += q[h]
+		}
+		if got := GUpper(p); got != want {
+			t.Errorf("GUpper(%v) = %d, want s + sum(middle) + sum Q_h = %d", p, got, want)
+		}
+	}
+}
+
+func TestGUpperPaperShape(t *testing.T) {
+	// p = (1, 2, 2, 2), s = 3:
+	// g = 3 + (2+2) + 1*2/2 + ((4+4+0)/4 + (4+4+0)/4) + 2*3/2 = 15.
+	if got := GUpper([]int{1, 2, 2, 2}); got != 15 {
+		t.Errorf("GUpper = %d, want 15", got)
+	}
+	// All-zero shape: g = s.
+	if got := GUpper([]int{0, 0, 0, 0}); got != 3 {
+		t.Errorf("GUpper(zero) = %d, want 3", got)
+	}
+}
+
+// enumerate all compositions of d into parts and return min GUpper.
+func bruteBestG(l, s int) int {
+	d := l - s
+	best := math.MaxInt32
+	var rec func(p []int, i, rem int)
+	rec = func(p []int, i, rem int) {
+		if i == len(p)-1 {
+			p[i] = rem
+			if g := GUpper(p); g < best {
+				best = g
+			}
+			return
+		}
+		for v := 0; v <= rem; v++ {
+			p[i] = v
+			rec(p, i+1, rem-v)
+		}
+	}
+	rec(make([]int, s+1), 0, d)
+	return best
+}
+
+// TestBalancedShapesAreOptimal verifies the structural claim of
+// Section III-D: restricting to the balanced shapes enumerated by
+// Algorithm 1 loses nothing against all compositions.
+func TestBalancedShapesAreOptimal(t *testing.T) {
+	for s := 1; s <= 4; s++ {
+		for l := s; l <= s+10; l++ {
+			_, g, ok := bestShapeFor(l, s)
+			if !ok {
+				t.Fatalf("bestShapeFor(%d, %d) found nothing", l, s)
+			}
+			if want := bruteBestG(l, s); g != want {
+				t.Errorf("s=%d L=%d: balanced best g=%d, exhaustive best g=%d", s, l, g, want)
+			}
+		}
+	}
+}
+
+func TestPlanBudgetMatchesExhaustive(t *testing.T) {
+	for s := 1; s <= 4; s++ {
+		for k := s; k <= 14; k++ {
+			b, err := PlanBudget(k, s)
+			if err != nil {
+				t.Fatalf("PlanBudget(%d,%d): %v", k, s, err)
+			}
+			// Exhaustive Lmax: the largest L in [s, K] with min g <= K.
+			want := -1
+			for l := s; l <= k; l++ {
+				if bruteBestG(l, s) <= k {
+					want = l
+				}
+			}
+			if b.LMax != want {
+				t.Errorf("K=%d s=%d: PlanBudget Lmax=%d, exhaustive %d", k, s, b.LMax, want)
+			}
+			if b.G > k {
+				t.Errorf("K=%d s=%d: g=%d exceeds K", k, s, b.G)
+			}
+			if got := GUpper(b.P); got != b.G {
+				t.Errorf("K=%d s=%d: recorded G=%d but GUpper(P)=%d", k, s, b.G, got)
+			}
+			sum := 0
+			for _, v := range b.P {
+				sum += v
+			}
+			if sum != b.LMax-s {
+				t.Errorf("K=%d s=%d: segment sizes sum to %d, want L-s=%d", k, s, sum, b.LMax-s)
+			}
+		}
+	}
+}
+
+func TestPlanBudgetPaperSetting(t *testing.T) {
+	// K = 20, s = 3 (the paper's default experimental setting).
+	b, err := PlanBudget(20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.LMax < 3 || b.LMax > 20 || b.G > 20 {
+		t.Errorf("Budget = %+v out of bounds", b)
+	}
+	// Theorem 1's closed form lower-bounds the achievable L.
+	if l1 := L1(20, 3); b.LMax < l1 {
+		t.Errorf("LMax = %d below the Theorem 1 bound L1 = %d", b.LMax, l1)
+	}
+}
+
+func TestPlanBudgetErrors(t *testing.T) {
+	if _, err := PlanBudget(5, 0); err == nil {
+		t.Error("s=0 should fail")
+	}
+	if _, err := PlanBudget(2, 3); err == nil {
+		t.Error("s > K should fail")
+	}
+}
+
+func TestPlanBudgetEdgeCases(t *testing.T) {
+	// s = K: L = s is the only choice, all segments empty.
+	b, err := PlanBudget(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.LMax != 4 || b.G != 4 {
+		t.Errorf("s=K: %+v", b)
+	}
+	// K = 1, s = 1: a single UAV.
+	b, err = PlanBudget(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.LMax != 1 {
+		t.Errorf("K=1: LMax = %d, want 1", b.LMax)
+	}
+}
+
+func TestL1Formula(t *testing.T) {
+	// L1(K=20, s=3) = floor(sqrt(240 + 36 - 25.5)) - 6 + 2 = floor(15.82) - 4 = 11.
+	if got := L1(20, 3); got != 11 {
+		t.Errorf("L1(20,3) = %d, want 11", got)
+	}
+	if got := L1(2, 1); got < 0 {
+		t.Errorf("L1(2,1) = %d, want non-negative", got)
+	}
+}
+
+func TestApproxRatio(t *testing.T) {
+	// Ratio must be positive, at most 1/3, and improve with s at fixed K.
+	prev := 0.0
+	for s := 1; s <= 4; s++ {
+		r := ApproxRatio(40, s)
+		if r <= 0 || r > 1.0/3+1e-9 {
+			t.Errorf("ApproxRatio(40,%d) = %g out of (0, 1/3]", s, r)
+		}
+		if r < prev {
+			t.Errorf("ApproxRatio should not degrade with s: s=%d gives %g < %g", s, r, prev)
+		}
+		prev = r
+	}
+	// Larger K means smaller ratio at fixed s.
+	if ApproxRatio(100, 3) > ApproxRatio(10, 3) {
+		t.Error("ratio should shrink as K grows")
+	}
+	if ApproxRatio(0, 3) != 0 {
+		t.Error("degenerate K should produce 0")
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	tests := []struct {
+		m, s int
+		want int64
+	}{
+		{5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {36, 3, 7140}, {10, 3, 120},
+		{3, 4, 0}, {5, -1, 0}, {100, 3, 161700},
+	}
+	for _, tc := range tests {
+		if got := binomial(tc.m, tc.s); got != tc.want {
+			t.Errorf("binomial(%d,%d) = %d, want %d", tc.m, tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestUnrankCombinationRoundTrip(t *testing.T) {
+	m, s := 7, 3
+	total := binomial(m, s)
+	seen := map[[3]int]bool{}
+	for idx := int64(0); idx < total; idx++ {
+		c, err := unrankCombination(idx, m, s)
+		if err != nil {
+			t.Fatalf("unrank(%d): %v", idx, err)
+		}
+		if len(c) != s {
+			t.Fatalf("unrank(%d) = %v, wrong size", idx, c)
+		}
+		for i := 0; i+1 < s; i++ {
+			if c[i] >= c[i+1] {
+				t.Fatalf("unrank(%d) = %v not strictly increasing", idx, c)
+			}
+		}
+		var key [3]int
+		copy(key[:], c)
+		if seen[key] {
+			t.Fatalf("duplicate combination %v at index %d", c, idx)
+		}
+		seen[key] = true
+	}
+	if int64(len(seen)) != total {
+		t.Errorf("enumerated %d distinct combinations, want %d", len(seen), total)
+	}
+	if _, err := unrankCombination(total, m, s); err == nil {
+		t.Error("index == C(m,s) should fail")
+	}
+	if _, err := unrankCombination(-1, m, s); err == nil {
+		t.Error("negative index should fail")
+	}
+}
+
+func TestSegmentCombosCoverBalancedShapes(t *testing.T) {
+	// Every emitted shape must sum to L-s, have the end segments within one
+	// of each other, and middle segments within one of each other.
+	for _, tc := range []struct{ l, s int }{{10, 3}, {7, 1}, {8, 2}, {5, 5}} {
+		segmentCombos(tc.l, tc.s, func(p []int) {
+			if len(p) != tc.s+1 {
+				t.Fatalf("L=%d s=%d: shape %v has wrong length", tc.l, tc.s, p)
+			}
+			sum := 0
+			for _, v := range p {
+				if v < 0 {
+					t.Fatalf("negative segment in %v", p)
+				}
+				sum += v
+			}
+			if sum != tc.l-tc.s {
+				t.Fatalf("L=%d s=%d: shape %v sums to %d, want %d", tc.l, tc.s, p, sum, tc.l-tc.s)
+			}
+			if diff := p[0] - p[tc.s]; diff < 0 || diff > 1 {
+				t.Errorf("L=%d s=%d: end segments %d,%d differ by more than one", tc.l, tc.s, p[0], p[tc.s])
+			}
+			for i := 1; i < tc.s; i++ {
+				for j := 1; j < tc.s; j++ {
+					if d := p[i] - p[j]; d < -1 || d > 1 {
+						t.Errorf("middle segments of %v differ by more than one", p)
+					}
+				}
+			}
+		})
+	}
+}

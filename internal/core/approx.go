@@ -1,0 +1,632 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/uav-coverage/uavnet/internal/assign"
+	"github.com/uav-coverage/uavnet/internal/graph"
+	"github.com/uav-coverage/uavnet/internal/matroid"
+)
+
+// Options configure the approximation algorithm (Algorithm 2).
+type Options struct {
+	// S is the anchor-subset size s; larger values improve the approximation
+	// ratio O(sqrt(s/K)) at a time cost of O(m^{s+1}). The paper recommends
+	// s = 3. Values above K are clamped to K. Default (0): 3.
+	S int
+	// DisablePrune turns off the sound Steiner-lower-bound pruning of anchor
+	// subsets. Pruning never changes the result (pruned subsets can never
+	// yield a feasible <= K-node network); disabling it exists for testing
+	// and for measuring the pruning's effect.
+	DisablePrune bool
+	// MaxSubsets caps the number of anchor subsets evaluated. Zero means
+	// exhaustive enumeration (the paper's algorithm). When the cap is lower
+	// than C(m, s), a deterministic pseudo-random sample of subsets (seeded
+	// by Seed) is evaluated instead; the approximation guarantee is then
+	// probabilistic rather than worst-case.
+	MaxSubsets int
+	// Workers is the number of goroutines evaluating subsets concurrently.
+	// Zero selects runtime.GOMAXPROCS(0). The result is deterministic
+	// regardless of the worker count.
+	Workers int
+	// Seed drives subset sampling when MaxSubsets is in effect.
+	Seed int64
+	// RequiredCells, when non-empty, restricts the search to anchor subsets
+	// containing at least one of these cells, which therefore end up in the
+	// deployed network. The gateway extension uses this to guarantee that
+	// some UAV hovers within relay range of the gateway (Fig. 1).
+	RequiredCells []int
+	// GroundLeftovers keeps UAVs beyond the q_j network members grounded,
+	// which is what Algorithm 2's pseudocode literally states. By default
+	// (false) the implementation extends the network greedily with the
+	// remaining UAVs — placing each next-largest-capacity UAV on the
+	// adjacent free cell that covers the most still-unclaimed users — which
+	// never reduces the served count and matches the paper's measured
+	// behaviour (its reported approAlg results are only achievable when all
+	// K UAVs fly).
+	GroundLeftovers bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.S == 0 {
+		o.S = 3
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// Deployment is the output of a placement algorithm: where each UAV flies
+// and which users it serves.
+type Deployment struct {
+	// Algorithm names the algorithm that produced the deployment.
+	Algorithm string
+	// LocationOf[k] is the hovering location (cell index) of UAV k in the
+	// scenario's original UAV order, or -1 if UAV k stays grounded.
+	LocationOf []int
+	// Served is the number of users served.
+	Served int
+	// Assignment is the optimal user assignment for the chosen placement.
+	Assignment assign.Assignment
+	// Anchors holds the winning anchor subset V*_j (approAlg only).
+	Anchors []int
+	// Budget is the Algorithm 1 budget used (approAlg only).
+	Budget Budget
+	// SubsetsEvaluated and SubsetsPruned count the anchor subsets examined
+	// and skipped by the sound pruning rule (approAlg only).
+	SubsetsEvaluated, SubsetsPruned int64
+}
+
+// DeployedLocations returns the sorted distinct locations that received a UAV.
+func (d *Deployment) DeployedLocations() []int {
+	var locs []int
+	for _, l := range d.LocationOf {
+		if l >= 0 {
+			locs = append(locs, l)
+		}
+	}
+	sort.Ints(locs)
+	return locs
+}
+
+// DeployedCount returns the number of UAVs actually deployed.
+func (d *Deployment) DeployedCount() int {
+	c := 0
+	for _, l := range d.LocationOf {
+		if l >= 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// subsetResult is one anchor subset's outcome, used for the deterministic
+// parallel reduction.
+type subsetResult struct {
+	idx    int64 // enumeration index of the subset
+	served int
+	locs   []int // location per sorted-capacity UAV slot (slot i -> locs[i])
+}
+
+// better reports whether a beats b under the deterministic order
+// (more served users first, then smaller enumeration index).
+func (a subsetResult) better(b subsetResult) bool {
+	if a.served != b.served {
+		return a.served > b.served
+	}
+	return a.idx < b.idx
+}
+
+// Approx runs Algorithm 2 on the instance and returns the best deployment it
+// finds. The returned deployment always satisfies all three constraints of
+// Section II-C: per-UAV capacities, per-user minimum rates (by construction
+// of the eligibility lists), and connectivity of the deployed network.
+func Approx(in *Instance, opts Options) (*Deployment, error) {
+	opts = opts.withDefaults()
+	sc := in.Scenario
+	k, m := sc.K(), sc.M()
+
+	s := opts.S
+	if s > k {
+		s = k
+	}
+	if s > m {
+		s = m
+	}
+	if s < 1 {
+		return nil, fmt.Errorf("core: cannot run approAlg with s < 1 (m=%d, K=%d)", m, k)
+	}
+
+	budget, err := PlanBudget(k, s)
+	if err != nil {
+		return nil, err
+	}
+	q := QValues(budget.LMax, budget.P)
+
+	// Capacities in greedy order: round r deploys the r-th largest capacity.
+	caps := make([]int, k)
+	for r, uav := range in.ByCapacity {
+		caps[r] = sc.UAVs[uav].Capacity
+	}
+
+	gen, total := newSubsetSource(m, s, opts)
+
+	// Workers pull subset batches from a channel and fold local bests.
+	type job struct {
+		idx    int64
+		subset []int
+	}
+	type workerOut struct {
+		best subsetResult
+		err  error
+	}
+	jobs := make(chan job, 4*opts.Workers)
+	results := make(chan workerOut, opts.Workers)
+	var pruned, evaluated int64
+	var statMu sync.Mutex
+
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			best := subsetResult{idx: -1, served: -1}
+			var workerErr error
+			var localPruned, localEval int64
+			// One oracle per worker, reset per subset, so the flow network's
+			// memory is reused across the whole enumeration.
+			oracle, err := newPlacementOracle(in, caps)
+			if err != nil {
+				workerErr = err
+			}
+			for jb := range jobs {
+				if workerErr != nil {
+					continue // drain remaining jobs after a failure
+				}
+				res, ok, wasPruned, err := evaluateSubset(in, jb.idx, jb.subset, budget, q, caps, opts, oracle)
+				if err != nil {
+					workerErr = err
+					continue
+				}
+				if wasPruned {
+					localPruned++
+					continue
+				}
+				localEval++
+				if ok && res.better(best) {
+					best = res
+				}
+			}
+			statMu.Lock()
+			pruned += localPruned
+			evaluated += localEval
+			statMu.Unlock()
+			results <- workerOut{best: best, err: workerErr}
+		}()
+	}
+
+	var feedErr error
+	go func() {
+		defer close(jobs)
+		var idx int64
+		for idx = 0; idx < total; idx++ {
+			subset, err := gen(idx)
+			if err != nil {
+				feedErr = err
+				return
+			}
+			jobs <- job{idx: idx, subset: subset}
+		}
+	}()
+
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	best := subsetResult{idx: -1, served: -1}
+	var evalErr error
+	for out := range results {
+		if out.err != nil && evalErr == nil {
+			evalErr = out.err
+		}
+		if out.best.idx >= 0 && out.best.better(best) {
+			best = out.best
+		}
+	}
+	if feedErr != nil {
+		return nil, feedErr
+	}
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	if best.idx < 0 {
+		return nil, fmt.Errorf("core: no feasible deployment: every anchor subset needs more than K=%d UAVs", k)
+	}
+
+	dep, err := finalizeDeployment(in, best)
+	if err != nil {
+		return nil, err
+	}
+	dep.Algorithm = "approAlg"
+	dep.Budget = budget
+	subset, err := gen(best.idx)
+	if err == nil {
+		dep.Anchors = subset
+	}
+	dep.SubsetsEvaluated = evaluated
+	dep.SubsetsPruned = pruned
+	return dep, nil
+}
+
+// evaluateSubset runs the per-subset body of Algorithm 2 (lines 5-23):
+// greedy placement of up to L_max UAVs under M1 /\ M2, MST-based relay
+// connection, feasibility check q_j <= K, and full evaluation.
+func evaluateSubset(in *Instance, idx int64, anchors []int, budget Budget, q []int, caps []int, opts Options, oracle *placementOracle) (res subsetResult, ok, pruned bool, err error) {
+	sc := in.Scenario
+	k := sc.K()
+
+	// Requirement filter: the subset must touch a required cell (if any).
+	if len(opts.RequiredCells) > 0 {
+		found := false
+	outer:
+		for _, a := range anchors {
+			for _, r := range opts.RequiredCells {
+				if a == r {
+					found = true
+					break outer
+				}
+			}
+		}
+		if !found {
+			return res, false, true, nil
+		}
+	}
+
+	// Anchors in different components can never form a connected network;
+	// such subsets are infeasible regardless of pruning settings. The sound
+	// pruning rule additionally skips subsets whose anchors alone already
+	// need more than K nodes to connect: any connected subgraph containing
+	// two anchors at hop distance h has at least h+1 nodes, and the anchors
+	// always end up in V'_j ⊆ V_j, so the q_j <= K check must fail.
+	maxHop := 0
+	for i := 0; i < len(anchors); i++ {
+		for j := i + 1; j < len(anchors); j++ {
+			d := in.Hop[anchors[i]][anchors[j]]
+			if d == graph.Unreachable {
+				return res, false, !opts.DisablePrune, nil
+			}
+			if d > maxHop {
+				maxHop = d
+			}
+		}
+	}
+	if !opts.DisablePrune && maxHop+1 > k {
+		return res, false, true, nil
+	}
+
+	// Hop distances from the anchor set define matroid M2.
+	dist := in.LocGraph.MultiSourceBFS(anchors)
+	m2 := matroid.HopCount{Dist: dist, Q: q}
+
+	// Ground set: locations reachable within hmax hops of the anchors.
+	ground := make([]int, 0, len(dist))
+	for loc, d := range dist {
+		if d != graph.Unreachable && d <= m2.HMax() {
+			ground = append(ground, loc)
+		}
+	}
+
+	if err := oracle.reset(); err != nil {
+		return res, false, false, err
+	}
+	selected, err := matroid.LazyGreedy(ground, budget.LMax,
+		func(sel []int, e int) bool { return m2.CanAdd(sel, e) }, oracle)
+	if err != nil {
+		return res, false, false, err
+	}
+	if len(selected) == 0 {
+		return res, false, false, nil
+	}
+
+	// Connect V'_j: MST over the hop metric, then union of shortest paths.
+	nodes, err := connectLocations(in.LocGraph, selected)
+	if err != nil {
+		return res, false, false, err
+	}
+	if len(nodes) > k {
+		return res, false, false, nil // q_j > K: infeasible subset (line 16)
+	}
+
+	// Deploy remaining UAVs (by decreasing capacity) on relay nodes.
+	slotLoc := append([]int(nil), selected...)
+	inSelected := make(map[int]bool, len(selected))
+	for _, l := range selected {
+		inSelected[l] = true
+	}
+	relays := make([]int, 0, len(nodes)-len(selected))
+	for _, v := range nodes {
+		if !inSelected[v] {
+			relays = append(relays, v)
+		}
+	}
+	sort.Ints(relays)
+	slotLoc = append(slotLoc, relays...)
+
+	if !opts.GroundLeftovers {
+		slotLoc = extendWithLeftovers(in, slotLoc, caps)
+	}
+
+	// Score the full placement by continuing the greedy's committed flow:
+	// the first len(selected) slots are already committed, so only the
+	// relay and leftover stations need augmenting. The max-flow value is
+	// independent of commit order, so this equals a from-scratch solve.
+	for slot := len(selected); slot < len(slotLoc); slot++ {
+		uav := in.ByCapacity[slot]
+		if _, err := oracle.ev.Commit(caps[slot], in.EligibleUsers(uav, slotLoc[slot])); err != nil {
+			return res, false, false, err
+		}
+	}
+	return subsetResult{idx: idx, served: oracle.ev.Served(), locs: slotLoc}, true, false, nil
+}
+
+// extendWithLeftovers deploys the UAVs left over after the q_j network
+// members, one by one in decreasing-capacity order: each goes to the free
+// cell adjacent to the current network that covers the most users not yet
+// claimed by an earlier slot (claims are capacity-capped), keeping the
+// network connected by construction. UAVs with no positive-gain cell stay
+// grounded. The claim bookkeeping is a fast surrogate for the exact flow
+// oracle; the caller rescores the final placement exactly.
+func extendWithLeftovers(in *Instance, slotLoc []int, caps []int) []int {
+	k := in.Scenario.K()
+	if len(slotLoc) >= k {
+		return slotLoc
+	}
+	claimed := make([]bool, in.Scenario.N())
+	used := make(map[int]bool, len(slotLoc))
+	claim := func(slot, loc int) int {
+		uav := in.ByCapacity[slot]
+		budget := caps[slot]
+		got := 0
+		for _, u := range in.EligibleUsers(uav, loc) {
+			if got == budget {
+				break
+			}
+			if !claimed[u] {
+				claimed[u] = true
+				got++
+			}
+		}
+		return got
+	}
+	for slot, loc := range slotLoc {
+		used[loc] = true
+		claim(slot, loc)
+	}
+	for slot := len(slotLoc); slot < k; slot++ {
+		uav := in.ByCapacity[slot]
+		budget := caps[slot]
+		bestLoc, bestGain := -1, 0
+		for _, v := range slotLoc {
+			for _, nb := range in.LocGraph.Neighbors(v) {
+				if used[nb] {
+					continue
+				}
+				gain := 0
+				for _, u := range in.EligibleUsers(uav, nb) {
+					if gain == budget {
+						break
+					}
+					if !claimed[u] {
+						gain++
+					}
+				}
+				if gain > bestGain || (gain == bestGain && gain > 0 && nb < bestLoc) {
+					bestLoc, bestGain = nb, gain
+				}
+			}
+		}
+		if bestLoc == -1 {
+			break
+		}
+		slotLoc = append(slotLoc, bestLoc)
+		used[bestLoc] = true
+		claim(slot, bestLoc)
+	}
+	return slotLoc
+}
+
+// connectLocations returns the sorted node set of the connected subgraph G_j
+// obtained by taking an MST of the selected locations under the hop metric
+// and replacing each MST edge with a shortest path (Algorithm 2 lines 13-15).
+func connectLocations(g *graph.Undirected, selected []int) ([]int, error) {
+	nodeSet := make(map[int]bool, len(selected))
+	for _, v := range selected {
+		nodeSet[v] = true
+	}
+	if len(selected) > 1 {
+		tree, _, err := graph.CompleteHopMST(g, selected)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range tree {
+			path := g.ShortestPath(selected[e.U], selected[e.V])
+			if path == nil {
+				return nil, fmt.Errorf("core: lost path between %d and %d", selected[e.U], selected[e.V])
+			}
+			for _, v := range path {
+				nodeSet[v] = true
+			}
+		}
+	}
+	nodes := make([]int, 0, len(nodeSet))
+	for v := range nodeSet {
+		nodes = append(nodes, v)
+	}
+	sort.Ints(nodes)
+	return nodes, nil
+}
+
+// finalizeDeployment maps the winning slot placement back to the scenario's
+// original UAV order and computes the final assignment (Algorithm 2 line 25).
+func finalizeDeployment(in *Instance, best subsetResult) (*Deployment, error) {
+	sc := in.Scenario
+	k := sc.K()
+	dep := &Deployment{LocationOf: make([]int, k)}
+	for i := range dep.LocationOf {
+		dep.LocationOf[i] = -1
+	}
+	p := assign.Problem{
+		NumUsers:   sc.N(),
+		Capacities: make([]int, len(best.locs)),
+		Eligible:   make([][]int, len(best.locs)),
+	}
+	for r, loc := range best.locs {
+		uav := in.ByCapacity[r]
+		dep.LocationOf[uav] = loc
+		p.Capacities[r] = sc.UAVs[uav].Capacity
+		p.Eligible[r] = in.EligibleUsers(uav, loc)
+	}
+	a, err := assign.Solve(p)
+	if err != nil {
+		return nil, err
+	}
+	// Re-index the assignment from slots to original UAV indices.
+	final := assign.Assignment{
+		Served:      a.Served,
+		UserStation: make([]int, sc.N()),
+		PerStation:  make([]int, k),
+	}
+	for i, slot := range a.UserStation {
+		if slot == assign.Unassigned {
+			final.UserStation[i] = assign.Unassigned
+			continue
+		}
+		uav := in.ByCapacity[slot]
+		final.UserStation[i] = uav
+		final.PerStation[uav]++
+	}
+	dep.Served = a.Served
+	dep.Assignment = final
+	return dep, nil
+}
+
+// placementOracle adapts assign.Evaluator to the matroid.Oracle interface:
+// the marginal gain of placing the round-th largest-capacity UAV at a
+// location is the increase in optimally-served users.
+type placementOracle struct {
+	in   *Instance
+	caps []int
+	ev   *assign.Evaluator
+}
+
+func newPlacementOracle(in *Instance, caps []int) (*placementOracle, error) {
+	ev, err := assign.NewEvaluator(in.Scenario.N(), len(caps))
+	if err != nil {
+		return nil, err
+	}
+	return &placementOracle{in: in, caps: caps, ev: ev}, nil
+}
+
+// reset rewinds the oracle for a fresh anchor subset, reusing its memory.
+func (o *placementOracle) reset() error { return o.ev.Reset() }
+
+func (o *placementOracle) eligible(round, loc int) []int {
+	uav := o.in.ByCapacity[round]
+	return o.in.EligibleUsers(uav, loc)
+}
+
+// Gain implements matroid.Oracle.
+func (o *placementOracle) Gain(round, loc int) (int, error) {
+	return o.ev.Gain(o.caps[round], o.eligible(round, loc))
+}
+
+// Commit implements matroid.Oracle.
+func (o *placementOracle) Commit(round, loc int) (int, error) {
+	return o.ev.Commit(o.caps[round], o.eligible(round, loc))
+}
+
+// Bound implements matroid.Bounder: a placement can never serve more users
+// than the first-round capacity allows or than are eligible at the location.
+// Both quantities are static, so this is a valid initial upper bound for the
+// lazy greedy.
+func (o *placementOracle) Bound(loc int) int {
+	n := len(o.eligible(0, loc))
+	if o.caps[0] < n {
+		return o.caps[0]
+	}
+	return n
+}
+
+// newSubsetSource returns a deterministic generator of anchor subsets by
+// enumeration index, plus the number of indices. With no cap (or a cap at
+// least C(m, s)) index i unranks to the i-th s-combination of 0..m-1 in
+// colexicographic order; with a cap, indices map to a seeded random sample
+// without replacement being impractical for huge C(m, s), we draw with
+// replacement which is harmless (duplicate subsets evaluate identically).
+func newSubsetSource(m, s int, opts Options) (func(int64) ([]int, error), int64) {
+	total := binomial(m, s)
+	if opts.MaxSubsets > 0 && int64(opts.MaxSubsets) < total {
+		sampled := int64(opts.MaxSubsets)
+		return func(idx int64) ([]int, error) {
+			r := rand.New(rand.NewSource(opts.Seed + idx*2654435761))
+			return randomCombination(r, m, s), nil
+		}, sampled
+	}
+	return func(idx int64) ([]int, error) {
+		return unrankCombination(idx, m, s)
+	}, total
+}
+
+// binomial returns C(m, s), saturating at MaxInt64 on overflow.
+func binomial(m, s int) int64 {
+	if s < 0 || s > m {
+		return 0
+	}
+	if s > m-s {
+		s = m - s
+	}
+	result := int64(1)
+	for i := 1; i <= s; i++ {
+		// result *= (m - s + i) / i, guarding overflow.
+		next := result * int64(m-s+i)
+		if next/int64(m-s+i) != result {
+			return int64(^uint64(0) >> 1)
+		}
+		result = next / int64(i)
+	}
+	return result
+}
+
+// unrankCombination returns the idx-th s-combination of {0..m-1} in
+// colexicographic order: the combination whose elements c_1 < ... < c_s
+// satisfy idx = sum C(c_i, i).
+func unrankCombination(idx int64, m, s int) ([]int, error) {
+	if idx < 0 || idx >= binomial(m, s) {
+		return nil, fmt.Errorf("core: combination index %d out of range for C(%d,%d)", idx, m, s)
+	}
+	out := make([]int, s)
+	for i := s; i >= 1; i-- {
+		// Largest c with C(c, i) <= idx.
+		c := i - 1
+		for binomial(c+1, i) <= idx {
+			c++
+		}
+		out[i-1] = c
+		idx -= binomial(c, i)
+	}
+	return out, nil
+}
+
+// randomCombination draws a uniform s-subset of {0..m-1} via partial
+// Fisher-Yates and returns it sorted.
+func randomCombination(r *rand.Rand, m, s int) []int {
+	perm := r.Perm(m)[:s]
+	sort.Ints(perm)
+	return perm
+}

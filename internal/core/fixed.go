@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/uav-coverage/uavnet/internal/assign"
+)
+
+// EvaluateFixed scores a caller-chosen placement: locationOf[k] is the cell
+// of UAV k or -1 for a grounded UAV. It computes the optimal user assignment
+// (Section II-D) for the placement and returns a Deployment with Served and
+// Assignment filled in. Connectivity is the caller's responsibility — use
+// Instance.LocGraph.Connected on the deployed locations to check it; the
+// baselines and the brute-force solver all construct connected placements.
+//
+// It returns an error if two UAVs share a cell or a location is out of range.
+func EvaluateFixed(in *Instance, locationOf []int) (*Deployment, error) {
+	sc := in.Scenario
+	if len(locationOf) != sc.K() {
+		return nil, fmt.Errorf("core: placement has %d entries for %d UAVs", len(locationOf), sc.K())
+	}
+	seen := map[int]int{}
+	var deployed []int
+	for uav, loc := range locationOf {
+		if loc < 0 {
+			continue
+		}
+		if loc >= sc.M() {
+			return nil, fmt.Errorf("core: UAV %d placed at cell %d outside [0,%d)", uav, loc, sc.M())
+		}
+		if prev, dup := seen[loc]; dup {
+			return nil, fmt.Errorf("core: UAVs %d and %d share cell %d", prev, uav, loc)
+		}
+		seen[loc] = uav
+		deployed = append(deployed, uav)
+	}
+	p := assign.Problem{
+		NumUsers:   sc.N(),
+		Capacities: make([]int, len(deployed)),
+		Eligible:   make([][]int, len(deployed)),
+	}
+	for i, uav := range deployed {
+		p.Capacities[i] = sc.UAVs[uav].Capacity
+		p.Eligible[i] = in.EligibleUsers(uav, locationOf[uav])
+	}
+	a, err := assign.Solve(p)
+	if err != nil {
+		return nil, err
+	}
+	dep := &Deployment{
+		LocationOf: append([]int(nil), locationOf...),
+		Served:     a.Served,
+		Assignment: assign.Assignment{
+			Served:      a.Served,
+			UserStation: make([]int, sc.N()),
+			PerStation:  make([]int, sc.K()),
+		},
+	}
+	for i, st := range a.UserStation {
+		if st == assign.Unassigned {
+			dep.Assignment.UserStation[i] = assign.Unassigned
+			continue
+		}
+		uav := deployed[st]
+		dep.Assignment.UserStation[i] = uav
+		dep.Assignment.PerStation[uav]++
+	}
+	return dep, nil
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/uav-coverage/uavnet/internal/geom"
+)
+
+// Gateway describes the Section II-A gateway requirement: at least one
+// deployed UAV must be within UAVRange of a ground anchor point (an
+// emergency communication vehicle or a satellite terminal) so the whole
+// network reaches the Internet. The paper's problem formulation omits this
+// constraint; ConnectToGateway retrofits it onto any deployment.
+type Gateway struct {
+	// Pos is the gateway's ground position.
+	Pos geom.Point2
+}
+
+// GatewayCells returns the candidate hovering cells from which a UAV can
+// relay to the gateway: cells whose center is within the scenario's
+// UAV-to-UAV range of the gateway position (the vehicle's mast is treated
+// as a network peer, per Fig. 1).
+func (in *Instance) GatewayCells(gw Gateway) []int {
+	var cells []int
+	for j, c := range in.Centers {
+		if geom.Dist2(c, gw.Pos) <= in.Scenario.UAVRange {
+			cells = append(cells, j)
+		}
+	}
+	return cells
+}
+
+// ConnectToGateway ensures a deployment can reach the gateway: if no
+// deployed UAV already sits on a gateway cell, grounded UAVs are deployed
+// as a relay chain along the shortest hop path from the network to the
+// nearest gateway cell. The user assignment is recomputed (relays may also
+// serve users).
+//
+// It fails when the gateway is unreachable: no gateway cell exists, no
+// grounded UAVs remain to build the chain, or no path connects the network
+// to a gateway cell.
+func ConnectToGateway(in *Instance, dep *Deployment, gw Gateway) (*Deployment, error) {
+	gwCells := in.GatewayCells(gw)
+	if len(gwCells) == 0 {
+		return nil, fmt.Errorf("core: no candidate cell within %g m of the gateway at (%g, %g)",
+			in.Scenario.UAVRange, gw.Pos.X, gw.Pos.Y)
+	}
+	deployed := dep.DeployedLocations()
+	if len(deployed) == 0 {
+		return nil, fmt.Errorf("core: cannot connect an empty deployment to a gateway")
+	}
+	isGw := make(map[int]bool, len(gwCells))
+	for _, c := range gwCells {
+		isGw[c] = true
+	}
+	for _, loc := range deployed {
+		if isGw[loc] {
+			return dep, nil // already connected
+		}
+	}
+
+	// Shortest hop path from any deployed cell to any gateway cell.
+	dist := in.LocGraph.MultiSourceBFS(deployed)
+	best, bestDist := -1, -1
+	for _, c := range gwCells {
+		if d := dist[c]; d >= 0 && (best == -1 || d < bestDist || (d == bestDist && c < best)) {
+			best, bestDist = c, d
+		}
+	}
+	if best == -1 {
+		return nil, fmt.Errorf("core: gateway cells unreachable from the deployed network")
+	}
+
+	// Walk back from the gateway cell toward the network, collecting the
+	// relay cells (including the gateway cell itself, excluding the network
+	// cell the chain attaches to).
+	occupied := make(map[int]bool, len(deployed))
+	for _, loc := range deployed {
+		occupied[loc] = true
+	}
+	var chain []int
+	cur := best
+	for dist[cur] > 0 {
+		chain = append(chain, cur)
+		next := -1
+		for _, nb := range in.LocGraph.Neighbors(cur) {
+			if dist[nb] == dist[cur]-1 && (next == -1 || nb < next) {
+				next = nb
+			}
+		}
+		if next == -1 {
+			return nil, fmt.Errorf("core: internal error: broken BFS parent chain at cell %d", cur)
+		}
+		cur = next
+	}
+	// Relays needed: every chain cell that is not already occupied.
+	var needed []int
+	for _, c := range chain {
+		if !occupied[c] {
+			needed = append(needed, c)
+		}
+	}
+	var grounded []int
+	for uav, loc := range dep.LocationOf {
+		if loc < 0 {
+			grounded = append(grounded, uav)
+		}
+	}
+	if len(needed) > len(grounded) {
+		return nil, fmt.Errorf("core: gateway chain needs %d relays but only %d UAVs remain",
+			len(needed), len(grounded))
+	}
+	// Largest-capacity grounded UAVs take the chain cells closest to the
+	// network (they are more likely to serve users there).
+	sort.SliceStable(grounded, func(i, j int) bool {
+		a, b := grounded[i], grounded[j]
+		if in.Scenario.UAVs[a].Capacity != in.Scenario.UAVs[b].Capacity {
+			return in.Scenario.UAVs[a].Capacity > in.Scenario.UAVs[b].Capacity
+		}
+		return a < b
+	})
+	locationOf := append([]int(nil), dep.LocationOf...)
+	for i, cell := range needed {
+		locationOf[grounded[i]] = cell
+	}
+	out, err := EvaluateFixed(in, locationOf)
+	if err != nil {
+		return nil, err
+	}
+	out.Algorithm = dep.Algorithm + "+gateway"
+	out.Anchors = append([]int(nil), dep.Anchors...)
+	out.Budget = dep.Budget
+	out.SubsetsEvaluated = dep.SubsetsEvaluated
+	out.SubsetsPruned = dep.SubsetsPruned
+	return out, nil
+}
+
+// GatewayReachable reports whether some deployed UAV sits on a gateway cell.
+func GatewayReachable(in *Instance, dep *Deployment, gw Gateway) bool {
+	cells := in.GatewayCells(gw)
+	isGw := make(map[int]bool, len(cells))
+	for _, c := range cells {
+		isGw[c] = true
+	}
+	for _, loc := range dep.DeployedLocations() {
+		if isGw[loc] {
+			return true
+		}
+	}
+	return false
+}

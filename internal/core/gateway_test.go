@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/uav-coverage/uavnet/internal/geom"
+)
+
+func TestGatewayCells(t *testing.T) {
+	sc := testScenario(nil, []int{5})
+	in, err := NewInstance(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gateway at the corner: cells within 750 m of (0, 0).
+	cells := in.GatewayCells(Gateway{Pos: geom.Point2{X: 0, Y: 0}})
+	// Cell (0,0) center (250,250) is 354 m away; (1,0) center (750,250) is
+	// 790 m away -> only cell 0 qualifies.
+	if len(cells) != 1 || cells[0] != 0 {
+		t.Errorf("GatewayCells = %v, want [0]", cells)
+	}
+}
+
+func TestConnectToGatewayAlreadyConnected(t *testing.T) {
+	sc := testScenario(nil, []int{5})
+	for i := 0; i < 3; i++ {
+		sc.Users = append(sc.Users, User{Pos: cellCenter(sc, 0, 0)})
+	}
+	in, err := NewInstance(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := EvaluateFixed(in, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := Gateway{Pos: geom.Point2{X: 0, Y: 0}}
+	out, err := ConnectToGateway(in, dep, gw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != dep {
+		t.Error("already-connected deployment should be returned unchanged")
+	}
+	if !GatewayReachable(in, out, gw) {
+		t.Error("GatewayReachable should hold")
+	}
+}
+
+func TestConnectToGatewayBuildsRelayChain(t *testing.T) {
+	// Users (and hence the network) in the far corner; gateway at origin.
+	// Two grounded UAVs must form the chain toward cell 0.
+	sc := testScenario(nil, []int{10, 1, 1, 1, 1, 1})
+	for i := 0; i < 6; i++ {
+		sc.Users = append(sc.Users, User{Pos: cellCenter(sc, 3, 3)})
+	}
+	in, err := NewInstance(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deploy only UAV 0 at the far corner; the rest grounded.
+	locs := []int{sc.Grid.CellIndex(3, 3), -1, -1, -1, -1, -1}
+	dep, err := EvaluateFixed(in, locs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := Gateway{Pos: geom.Point2{X: 0, Y: 0}}
+	if GatewayReachable(in, dep, gw) {
+		t.Fatal("should not be reachable before connecting")
+	}
+	out, err := ConnectToGateway(in, dep, gw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !GatewayReachable(in, out, gw) {
+		t.Error("gateway not reachable after connecting")
+	}
+	if !in.LocGraph.Connected(out.DeployedLocations()) {
+		t.Errorf("network %v disconnected after gateway chain", out.DeployedLocations())
+	}
+	if out.Served < dep.Served {
+		t.Errorf("gateway chain lost users: %d -> %d", dep.Served, out.Served)
+	}
+	// The original UAV must not have moved.
+	if out.LocationOf[0] != locs[0] {
+		t.Error("gateway connection moved a deployed UAV")
+	}
+}
+
+func TestConnectToGatewayErrors(t *testing.T) {
+	sc := testScenario(nil, []int{5, 5})
+	for i := 0; i < 2; i++ {
+		sc.Users = append(sc.Users, User{Pos: cellCenter(sc, 3, 3)})
+	}
+	in, err := NewInstance(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := EvaluateFixed(in, []int{sc.Grid.CellIndex(3, 3), -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("gateway-outside-area", func(t *testing.T) {
+		if _, err := ConnectToGateway(in, dep, Gateway{Pos: geom.Point2{X: 99999, Y: 99999}}); err == nil {
+			t.Error("unreachable gateway position should fail")
+		}
+	})
+	t.Run("not-enough-relays", func(t *testing.T) {
+		// Only one grounded UAV but the chain to the opposite corner needs
+		// more than one relay.
+		if _, err := ConnectToGateway(in, dep, Gateway{Pos: geom.Point2{X: 0, Y: 0}}); err == nil {
+			t.Error("insufficient relay UAVs should fail")
+		}
+	})
+	t.Run("empty-deployment", func(t *testing.T) {
+		empty, err := EvaluateFixed(in, []int{-1, -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ConnectToGateway(in, empty, Gateway{Pos: geom.Point2{X: 0, Y: 0}}); err == nil {
+			t.Error("empty deployment should fail")
+		}
+	})
+}
+
+func TestConnectToGatewayDisconnectedGrid(t *testing.T) {
+	sc := testScenario(nil, []int{5, 5})
+	sc.UAVRange = 100 // grid falls apart; BFS cannot reach the gateway cell
+	sc.Users = append(sc.Users, User{Pos: cellCenter(sc, 3, 3)})
+	in, err := NewInstance(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := EvaluateFixed(in, []int{sc.Grid.CellIndex(3, 3), -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gateway near cell (0,0): within 100 m of its center (250, 250).
+	gw := Gateway{Pos: geom.Point2{X: 250, Y: 300}}
+	if _, err := ConnectToGateway(in, dep, gw); err == nil {
+		t.Error("unreachable gateway cells should fail")
+	}
+}

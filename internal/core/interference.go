@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/uav-coverage/uavnet/internal/assign"
+	"github.com/uav-coverage/uavnet/internal/channel"
+	"github.com/uav-coverage/uavnet/internal/geom"
+)
+
+// InterferenceReport audits a deployment under worst-case co-channel
+// interference: every deployed UAV transmits on the same OFDMA resource
+// block, so each served user's SINR includes the received power of every
+// other UAV. The paper's interference-free model (Section II-B) is the
+// optimistic bound; this report is the pessimistic one — reality, with a
+// frequency-reuse plan, lands between them.
+type InterferenceReport struct {
+	// ServedUsers is the number of links analyzed.
+	ServedUsers int
+	// MeanSNRdB and MeanSINRdB average the interference-free and
+	// fully-interfered link qualities.
+	MeanSNRdB, MeanSINRdB float64
+	// MinSINRdB is the worst interfered link.
+	MinSINRdB float64
+	// Degraded counts served users whose Shannon rate under full
+	// interference falls below their minimum requirement — users the
+	// interference-free model over-promises unless resource blocks are
+	// coordinated.
+	Degraded int
+	// MeanRateLossFrac is the mean fractional rate loss (0..1) across
+	// served users when interference is accounted for.
+	MeanRateLossFrac float64
+}
+
+// AnalyzeInterference computes the report for a deployment's assignment.
+func AnalyzeInterference(in *Instance, dep *Deployment) (InterferenceReport, error) {
+	sc := in.Scenario
+	alt := sc.Grid.Altitude
+	ch := sc.Channel
+
+	var deployed []int
+	for uav, loc := range dep.LocationOf {
+		if loc >= 0 {
+			deployed = append(deployed, uav)
+		}
+	}
+	rep := InterferenceReport{MinSINRdB: math.Inf(1)}
+	var sumSNR, sumSINR, sumLoss float64
+	for user, uav := range dep.Assignment.UserStation {
+		if uav == assign.Unassigned {
+			continue
+		}
+		loc := dep.LocationOf[uav]
+		if loc < 0 {
+			return rep, fmt.Errorf("core: user %d assigned to grounded UAV %d", user, uav)
+		}
+		pos := sc.Users[user].Pos
+		signal := channel.ReceivedPowerDBm(sc.UAVs[uav].Tx,
+			ch.AirToGroundPathLossDB(geom.Dist2(pos, in.Centers[loc]), alt))
+		var interferers []float64
+		for _, other := range deployed {
+			if other == uav {
+				continue
+			}
+			otherLoc := dep.LocationOf[other]
+			interferers = append(interferers, channel.ReceivedPowerDBm(sc.UAVs[other].Tx,
+				ch.AirToGroundPathLossDB(geom.Dist2(pos, in.Centers[otherLoc]), alt)))
+		}
+		snr := ch.SINRdB(signal, nil)
+		sinr := ch.SINRdB(signal, interferers)
+		rep.ServedUsers++
+		sumSNR += snr
+		sumSINR += sinr
+		if sinr < rep.MinSINRdB {
+			rep.MinSINRdB = sinr
+		}
+		cleanRate := ch.RateBps(snr)
+		dirtyRate := ch.RateBps(sinr)
+		if cleanRate > 0 {
+			sumLoss += 1 - dirtyRate/cleanRate
+		}
+		if dirtyRate < sc.Users[user].MinRateBps {
+			rep.Degraded++
+		}
+	}
+	if rep.ServedUsers > 0 {
+		rep.MeanSNRdB = sumSNR / float64(rep.ServedUsers)
+		rep.MeanSINRdB = sumSINR / float64(rep.ServedUsers)
+		rep.MeanRateLossFrac = sumLoss / float64(rep.ServedUsers)
+	} else {
+		rep.MinSINRdB = 0
+	}
+	return rep, nil
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/uav-coverage/uavnet/internal/channel"
+	"github.com/uav-coverage/uavnet/internal/geom"
+)
+
+func TestSINREqualsSNRWithoutInterferers(t *testing.T) {
+	p := channel.DefaultParams()
+	signal := -70.0
+	snr := p.SINRdB(signal, nil)
+	want := signal - p.NoiseDBm
+	if math.Abs(snr-want) > 1e-9 {
+		t.Errorf("SINR without interferers = %g, want SNR %g", snr, want)
+	}
+}
+
+func TestSINRDropsWithInterference(t *testing.T) {
+	p := channel.DefaultParams()
+	signal := -70.0
+	clean := p.SINRdB(signal, nil)
+	one := p.SINRdB(signal, []float64{-80})
+	two := p.SINRdB(signal, []float64{-80, -80})
+	if !(two < one && one < clean) {
+		t.Errorf("SINR not monotone in interference: %g, %g, %g", clean, one, two)
+	}
+	// An equal-power interferer drives SINR to about 0 dB (noise-dominated
+	// regimes aside).
+	equal := p.SINRdB(signal, []float64{signal})
+	if equal > 0.1 {
+		t.Errorf("equal-power interferer leaves SINR %g dB, want about <= 0", equal)
+	}
+}
+
+func TestAnalyzeInterferenceSingleUAV(t *testing.T) {
+	// One UAV: no interferers, SINR == SNR, nothing degraded.
+	sc := testScenario(nil, []int{5})
+	for i := 0; i < 3; i++ {
+		sc.Users = append(sc.Users, User{Pos: cellCenter(sc, 1, 1)})
+	}
+	in, err := NewInstance(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := EvaluateFixed(in, []int{sc.Grid.CellIndex(1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := AnalyzeInterference(in, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ServedUsers != 3 {
+		t.Fatalf("ServedUsers = %d, want 3", rep.ServedUsers)
+	}
+	if math.Abs(rep.MeanSNRdB-rep.MeanSINRdB) > 1e-9 {
+		t.Errorf("single UAV: SINR %g != SNR %g", rep.MeanSINRdB, rep.MeanSNRdB)
+	}
+	if rep.Degraded != 0 || rep.MeanRateLossFrac != 0 {
+		t.Errorf("single UAV should not degrade anyone: %+v", rep)
+	}
+}
+
+func TestAnalyzeInterferenceNeighborsDegrade(t *testing.T) {
+	// Two adjacent UAVs serving users in their own cells: each user hears
+	// the other UAV as co-channel interference, so SINR < SNR and rate is
+	// lost.
+	sc := testScenario(nil, []int{3, 3})
+	for i := 0; i < 2; i++ {
+		sc.Users = append(sc.Users, User{Pos: cellCenter(sc, 1, 1)})
+		sc.Users = append(sc.Users, User{Pos: cellCenter(sc, 2, 1)})
+	}
+	in, err := NewInstance(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := EvaluateFixed(in, []int{sc.Grid.CellIndex(1, 1), sc.Grid.CellIndex(2, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := AnalyzeInterference(in, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ServedUsers != 4 {
+		t.Fatalf("ServedUsers = %d, want 4", rep.ServedUsers)
+	}
+	if rep.MeanSINRdB >= rep.MeanSNRdB {
+		t.Errorf("interference did not lower SINR: %g >= %g", rep.MeanSINRdB, rep.MeanSNRdB)
+	}
+	if rep.MeanRateLossFrac <= 0 || rep.MeanRateLossFrac > 1 {
+		t.Errorf("rate loss %g outside (0,1]", rep.MeanRateLossFrac)
+	}
+	if rep.MinSINRdB > rep.MeanSINRdB {
+		t.Errorf("min SINR %g above mean %g", rep.MinSINRdB, rep.MeanSINRdB)
+	}
+}
+
+func TestAnalyzeInterferenceEmptyDeployment(t *testing.T) {
+	sc := testScenario([]geom.Point2{{X: 100, Y: 100}}, []int{1, 1})
+	in, err := NewInstance(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := EvaluateFixed(in, []int{-1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := AnalyzeInterference(in, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ServedUsers != 0 || rep.MinSINRdB != 0 {
+		t.Errorf("empty deployment report: %+v", rep)
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/uav-coverage/uavnet/internal/assign"
+	"github.com/uav-coverage/uavnet/internal/geom"
+)
+
+func TestRefineAssignmentPreservesServedAndLowersPathloss(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	var users []geom.Point2
+	for i := 0; i < 80; i++ {
+		users = append(users, geom.Point2{X: r.Float64() * 2000, Y: r.Float64() * 2000})
+	}
+	sc := testScenario(users, []int{10, 10, 10, 10})
+	// Widen ranges so users are eligible to several UAVs and the assignment
+	// has real freedom to shift links.
+	for k := range sc.UAVs {
+		sc.UAVs[k].UserRange = 800
+	}
+	in, err := NewInstance(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := Approx(in, Options{S: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := TotalPathlossMilliDB(in, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, after, err := RefineAssignment(in, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined.Served != dep.Served {
+		t.Fatalf("refinement changed served count: %d -> %d", dep.Served, refined.Served)
+	}
+	if after > before {
+		t.Errorf("refined pathloss %d > original %d", after, before)
+	}
+	// The refined total must match an independent recomputation.
+	recount, err := TotalPathlossMilliDB(in, refined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recount != after {
+		t.Errorf("reported %d != recomputed %d", after, recount)
+	}
+	// Capacities still respected, placements unchanged.
+	for k := range refined.LocationOf {
+		if refined.LocationOf[k] != dep.LocationOf[k] {
+			t.Errorf("refinement moved UAV %d", k)
+		}
+		if refined.Assignment.PerStation[k] > sc.UAVs[k].Capacity {
+			t.Errorf("UAV %d over capacity after refinement", k)
+		}
+	}
+}
+
+func TestRefineAssignmentActuallyImprovesWhenSlackExists(t *testing.T) {
+	// Construct a case with an obviously improvable assignment space: two
+	// users, two UAVs, both eligible for both; the optimal pairing is
+	// nearest-UAV. The plain max-flow solver is free to return either
+	// pairing; refinement must return the near pairing's cost.
+	sc := testScenario(nil, []int{1, 1})
+	sc.UAVs[0].UserRange = 1200
+	sc.UAVs[1].UserRange = 1200
+	sc.Users = []User{
+		{Pos: cellCenter(sc, 0, 0)},
+		{Pos: cellCenter(sc, 1, 0)},
+	}
+	in, err := NewInstance(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := EvaluateFixed(in, []int{sc.Grid.CellIndex(0, 0), sc.Grid.CellIndex(1, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Served != 2 {
+		t.Fatalf("served %d, want 2", dep.Served)
+	}
+	refined, total, err := RefineAssignment(in, dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The optimal pairing is user i -> UAV at its own cell (overhead link).
+	if refined.Assignment.UserStation[0] != 0 || refined.Assignment.UserStation[1] != 1 {
+		t.Errorf("refined pairing %v, want identity", refined.Assignment.UserStation)
+	}
+	// Overhead pathloss at 300 m altitude, urban defaults: ~88.5 dB each.
+	perLink := sc.Channel.AirToGroundPathLossDB(0, 300)
+	want := int64(2 * perLink * 1000)
+	if diff := total - want; diff < -1000 || diff > 1000 {
+		t.Errorf("total = %d milli-dB, want about %d", total, want)
+	}
+}
+
+func TestRefineAssignmentErrors(t *testing.T) {
+	sc := testScenario([]geom.Point2{{X: 100, Y: 100}}, []int{1})
+	in, err := NewInstance(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RefineAssignment(in, &Deployment{LocationOf: []int{0, 1}}); err == nil {
+		t.Error("UAV-count mismatch should fail")
+	}
+}
+
+func TestTotalPathlossGroundedAssignment(t *testing.T) {
+	sc := testScenario([]geom.Point2{{X: 100, Y: 100}}, []int{1})
+	in, err := NewInstance(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &Deployment{
+		LocationOf: []int{-1},
+		Assignment: assign.Assignment{
+			Served:      1,
+			UserStation: []int{0}, // user 0 "assigned" to grounded UAV 0
+			PerStation:  []int{1},
+		},
+	}
+	if _, err := TotalPathlossMilliDB(in, bad); err == nil {
+		t.Error("assignment to grounded UAV should fail")
+	}
+}

@@ -1,0 +1,266 @@
+// Package core implements the paper's primary contribution: the maximum
+// connected coverage problem for heterogeneous UAV networks (Section II-C)
+// and its O(sqrt(s/K))-approximation algorithm (Section III, Algorithm 2),
+// together with Algorithm 1 (the L_max / p*_i budget computation) and the
+// relay-connector construction of Lemma 2.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/uav-coverage/uavnet/internal/channel"
+	"github.com/uav-coverage/uavnet/internal/geom"
+	"github.com/uav-coverage/uavnet/internal/graph"
+)
+
+// User is one ground user to be served (Section II-A).
+type User struct {
+	// Pos is the user's ground position inside the disaster area.
+	Pos geom.Point2
+	// MinRateBps is the user's minimum data-rate requirement r_i^min,
+	// e.g. 2000 (2 kbps).
+	MinRateBps float64
+}
+
+// UAV is one heterogeneous UAV with its mounted base station (Section II-A).
+type UAV struct {
+	// Name is an optional human-readable label, e.g. "M600-1".
+	Name string
+	// Capacity is the service capacity C_k: the maximum number of users the
+	// UAV can serve simultaneously.
+	Capacity int
+	// Tx is the base station's radio front-end (transmission power P_t^k and
+	// antenna gain g_t^k).
+	Tx channel.Transmitter
+	// UserRange optionally caps the UAV-to-user communication range R_user^k
+	// in meters. Zero means "no explicit cap": eligibility is then governed
+	// solely by the per-user data-rate requirement through the channel model.
+	UserRange float64
+}
+
+// Scenario is one full problem instance of the maximum connected coverage
+// problem (Section II-C).
+type Scenario struct {
+	// Grid is the disaster area and its hovering-plane discretization.
+	Grid geom.Grid
+	// Users are the n ground users.
+	Users []User
+	// UAVs are the K heterogeneous UAVs.
+	UAVs []UAV
+	// UAVRange is the UAV-to-UAV communication range R_uav in meters; two
+	// hovering locations are linked iff their distance is at most UAVRange.
+	UAVRange float64
+	// Channel holds the shared radio parameters.
+	Channel channel.Params
+}
+
+// Validate reports whether the scenario is structurally usable.
+func (sc *Scenario) Validate() error {
+	if sc == nil {
+		return fmt.Errorf("core: nil scenario")
+	}
+	if err := sc.Grid.Validate(); err != nil {
+		return fmt.Errorf("core: invalid grid: %w", err)
+	}
+	if err := sc.Channel.Validate(); err != nil {
+		return fmt.Errorf("core: invalid channel: %w", err)
+	}
+	if len(sc.UAVs) == 0 {
+		return fmt.Errorf("core: scenario has no UAVs")
+	}
+	if sc.UAVRange <= 0 {
+		return fmt.Errorf("core: UAV-to-UAV range %g must be positive", sc.UAVRange)
+	}
+	for k, u := range sc.UAVs {
+		if u.Capacity < 0 {
+			return fmt.Errorf("core: UAV %d has negative capacity %d", k, u.Capacity)
+		}
+		if u.UserRange < 0 {
+			return fmt.Errorf("core: UAV %d has negative user range %g", k, u.UserRange)
+		}
+	}
+	for i, u := range sc.Users {
+		if u.MinRateBps < 0 {
+			return fmt.Errorf("core: user %d has negative rate requirement %g", i, u.MinRateBps)
+		}
+	}
+	return nil
+}
+
+// K returns the number of UAVs.
+func (sc *Scenario) K() int { return len(sc.UAVs) }
+
+// N returns the number of users.
+func (sc *Scenario) N() int { return len(sc.Users) }
+
+// M returns the number of candidate hovering locations.
+func (sc *Scenario) M() int { return sc.Grid.NumCells() }
+
+// classKey identifies UAVs that behave identically for eligibility purposes:
+// same radio front-end and same explicit range cap. Capacity does NOT enter
+// the key — capacity affects assignment, not eligibility.
+type classKey struct {
+	powerDBm, gainDBi, userRange float64
+}
+
+// Instance is a Scenario with every structure the algorithms need
+// precomputed: the candidate-location graph, pairwise hop distances, per-UAV
+// eligibility lists and the capacity-sorted UAV order. Build it once and
+// share it across algorithm runs; it is read-only after construction and safe
+// for concurrent use.
+type Instance struct {
+	Scenario *Scenario
+	// Centers are the planar centers of the m candidate hovering locations.
+	Centers []geom.Point2
+	// LocGraph is the location graph: nodes are candidate locations, edges
+	// connect pairs within UAVRange.
+	LocGraph *graph.Undirected
+	// Hop[a][b] is the hop distance between locations a and b in LocGraph,
+	// or graph.Unreachable.
+	Hop [][]int
+	// ByCapacity holds UAV indices sorted by decreasing capacity (ties by
+	// index), the order in which Algorithm 2 deploys them.
+	ByCapacity []int
+	// ClassOf maps a UAV index to its eligibility class.
+	ClassOf []int
+	// Eligible[class][loc] lists the users a UAV of that class can serve
+	// from location loc (within range and meeting the user's minimum rate).
+	Eligible [][][]int
+}
+
+// NewInstance validates the scenario and precomputes the derived structures.
+func NewInstance(sc *Scenario) (*Instance, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	in := &Instance{
+		Scenario: sc,
+		Centers:  sc.Grid.Centers(),
+	}
+	m := len(in.Centers)
+
+	// Location graph and hop matrix.
+	in.LocGraph = graph.New(m)
+	for a := 0; a < m; a++ {
+		for b := a + 1; b < m; b++ {
+			if geom.Dist2(in.Centers[a], in.Centers[b]) <= sc.UAVRange {
+				if err := in.LocGraph.AddEdge(a, b); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	in.Hop = make([][]int, m)
+	for a := 0; a < m; a++ {
+		in.Hop[a] = in.LocGraph.BFS(a)
+	}
+
+	// Capacity-sorted order (decreasing; stable on index for determinism).
+	in.ByCapacity = make([]int, sc.K())
+	for k := range in.ByCapacity {
+		in.ByCapacity[k] = k
+	}
+	sort.SliceStable(in.ByCapacity, func(i, j int) bool {
+		a, b := in.ByCapacity[i], in.ByCapacity[j]
+		if sc.UAVs[a].Capacity != sc.UAVs[b].Capacity {
+			return sc.UAVs[a].Capacity > sc.UAVs[b].Capacity
+		}
+		return a < b
+	})
+
+	// Eligibility classes.
+	classIdx := map[classKey]int{}
+	in.ClassOf = make([]int, sc.K())
+	var classes []classKey
+	for k, u := range sc.UAVs {
+		key := classKey{u.Tx.PowerDBm, u.Tx.AntennaGainDBi, u.UserRange}
+		id, ok := classIdx[key]
+		if !ok {
+			id = len(classes)
+			classIdx[key] = id
+			classes = append(classes, key)
+		}
+		in.ClassOf[k] = id
+	}
+
+	// Per-class, per-user maximum serving distance: the lesser of the class's
+	// explicit range cap and the distance at which the channel still meets
+	// the user's minimum rate. Coverage radii are cached per distinct rate.
+	in.Eligible = make([][][]int, len(classes))
+	alt := sc.Grid.Altitude
+	for c, key := range classes {
+		tx := channel.Transmitter{PowerDBm: key.powerDBm, AntennaGainDBi: key.gainDBi}
+		radiusByRate := map[float64]float64{}
+		maxDist := make([]float64, len(sc.Users))
+		for i, u := range sc.Users {
+			r, ok := radiusByRate[u.MinRateBps]
+			if !ok {
+				r = sc.Channel.CoverageRadius(tx, alt, u.MinRateBps)
+				radiusByRate[u.MinRateBps] = r
+			}
+			d := r
+			if key.userRange > 0 && key.userRange < d {
+				d = key.userRange
+			}
+			maxDist[i] = d
+		}
+		perLoc := make([][]int, m)
+		for j := 0; j < m; j++ {
+			var el []int
+			for i := range sc.Users {
+				// A zero radius means the channel cannot meet the user's
+				// rate even directly overhead: never eligible.
+				if maxDist[i] > 0 && geom.Dist2(sc.Users[i].Pos, in.Centers[j]) <= maxDist[i] {
+					el = append(el, i)
+				}
+			}
+			perLoc[j] = el
+		}
+		in.Eligible[c] = perLoc
+	}
+	return in, nil
+}
+
+// EligibleUsers returns the users UAV k can serve from location loc.
+func (in *Instance) EligibleUsers(k, loc int) []int {
+	return in.Eligible[in.ClassOf[k]][loc]
+}
+
+// MaxHop returns the largest finite pairwise hop distance in the location
+// graph (its hop diameter), useful for sizing searches.
+func (in *Instance) MaxHop() int {
+	maxHop := 0
+	for a := range in.Hop {
+		for _, d := range in.Hop[a] {
+			if d > maxHop {
+				maxHop = d
+			}
+		}
+	}
+	return maxHop
+}
+
+// TotalCapacity returns the sum of all UAV capacities.
+func (in *Instance) TotalCapacity() int {
+	total := 0
+	for _, u := range in.Scenario.UAVs {
+		total += u.Capacity
+	}
+	return total
+}
+
+// CoverageUpperBound returns a trivial upper bound on the number of users
+// any deployment can serve: min(n, total capacity).
+func (in *Instance) CoverageUpperBound() int {
+	n := in.Scenario.N()
+	if tc := in.TotalCapacity(); tc < n {
+		return tc
+	}
+	return n
+}
+
+// distToLoc is a test helper: Euclidean distance from user i to location j.
+func (in *Instance) distToLoc(i, j int) float64 {
+	return geom.Dist2(in.Scenario.Users[i].Pos, in.Centers[j])
+}

@@ -1,0 +1,174 @@
+// Package energy models UAV power consumption and mission endurance. The
+// paper motivates heterogeneous fleets through different payloads and
+// battery capacities (DJI Matrice 600 vs 300, Section I); this package
+// quantifies that: hover power from rotor-disk actuator theory, payload
+// sensitivity, base-station electronics drain, and the resulting hover
+// endurance that bounds how long a deployment can stay up before rotation.
+package energy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Profile describes one UAV's power-relevant parameters.
+type Profile struct {
+	// MassKg is the airframe mass including battery, excluding payload.
+	MassKg float64
+	// PayloadKg is the mounted base-station payload.
+	PayloadKg float64
+	// RotorRadiusM is the radius of one rotor disk.
+	RotorRadiusM float64
+	// Rotors is the number of rotors (4, 6, 8).
+	Rotors int
+	// BatteryWh is the usable battery energy in watt-hours.
+	BatteryWh float64
+	// AvionicsW is the constant electronics draw (flight controller,
+	// radios) in watts.
+	AvionicsW float64
+	// BaseStationW is the mounted base station's draw in watts (SkyRAN +
+	// SkyCore electronics).
+	BaseStationW float64
+	// FigureOfMerit is the rotor efficiency in (0, 1]; 0.6-0.75 is typical.
+	FigureOfMerit float64
+}
+
+// Validate reports whether the profile is physically meaningful.
+func (p Profile) Validate() error {
+	switch {
+	case p.MassKg <= 0:
+		return fmt.Errorf("energy: mass %g kg must be positive", p.MassKg)
+	case p.PayloadKg < 0:
+		return fmt.Errorf("energy: payload %g kg must be non-negative", p.PayloadKg)
+	case p.RotorRadiusM <= 0:
+		return fmt.Errorf("energy: rotor radius %g m must be positive", p.RotorRadiusM)
+	case p.Rotors < 1:
+		return fmt.Errorf("energy: rotor count %d must be positive", p.Rotors)
+	case p.BatteryWh <= 0:
+		return fmt.Errorf("energy: battery %g Wh must be positive", p.BatteryWh)
+	case p.AvionicsW < 0 || p.BaseStationW < 0:
+		return fmt.Errorf("energy: electronics draws must be non-negative")
+	case p.FigureOfMerit <= 0 || p.FigureOfMerit > 1:
+		return fmt.Errorf("energy: figure of merit %g outside (0, 1]", p.FigureOfMerit)
+	}
+	return nil
+}
+
+// Physical constants.
+const (
+	gravity    = 9.80665 // m/s^2
+	airDensity = 1.225   // kg/m^3 at sea level, 15 C
+)
+
+// HoverPowerW returns the total electrical power draw while hovering:
+// induced rotor power from momentum theory,
+//
+//	P_ideal = T^(3/2) / sqrt(2 * rho * A_total),
+//
+// divided by the figure of merit, plus the constant electronics draws.
+func (p Profile) HoverPowerW() (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	thrust := (p.MassKg + p.PayloadKg) * gravity
+	diskArea := float64(p.Rotors) * math.Pi * p.RotorRadiusM * p.RotorRadiusM
+	ideal := math.Pow(thrust, 1.5) / math.Sqrt(2*airDensity*diskArea)
+	return ideal/p.FigureOfMerit + p.AvionicsW + p.BaseStationW, nil
+}
+
+// HoverEnduranceMin returns the hover endurance in minutes.
+func (p Profile) HoverEnduranceMin() (float64, error) {
+	power, err := p.HoverPowerW()
+	if err != nil {
+		return 0, err
+	}
+	return p.BatteryWh / power * 60, nil
+}
+
+// Reference profiles for the two airframes the paper names. Battery and
+// payload figures follow the public spec sheets: the M600 lifts a heavier,
+// more capable base station and carries more battery; the M300 is lighter
+// in both.
+var (
+	// MatriceM600 approximates a DJI Matrice 600 Pro/RTK with a full
+	// LTE base-station payload.
+	MatriceM600 = Profile{
+		MassKg:        9.5,
+		PayloadKg:     5.0,
+		RotorRadiusM:  0.265,
+		Rotors:        6,
+		BatteryWh:     600,
+		AvionicsW:     40,
+		BaseStationW:  60,
+		FigureOfMerit: 0.65,
+	}
+	// MatriceM300 approximates a DJI Matrice 300 RTK with a light
+	// base-station payload.
+	MatriceM300 = Profile{
+		MassKg:        6.3,
+		PayloadKg:     2.5,
+		RotorRadiusM:  0.2665,
+		Rotors:        4,
+		BatteryWh:     530,
+		AvionicsW:     25,
+		BaseStationW:  35,
+		FigureOfMerit: 0.65,
+	}
+)
+
+// MissionEndurance describes how long a deployed network lasts.
+type MissionEndurance struct {
+	// PerUAVMin is each UAV's hover endurance in minutes.
+	PerUAVMin []float64
+	// NetworkMin is the time until the FIRST UAV must leave: the network's
+	// guaranteed intact duration.
+	NetworkMin float64
+	// WeakestUAV is the index of the endurance-limiting UAV.
+	WeakestUAV int
+}
+
+// NetworkEndurance computes mission endurance for a fleet of profiles.
+// An empty fleet is an error.
+func NetworkEndurance(fleet []Profile) (MissionEndurance, error) {
+	if len(fleet) == 0 {
+		return MissionEndurance{}, fmt.Errorf("energy: empty fleet")
+	}
+	out := MissionEndurance{
+		PerUAVMin:  make([]float64, len(fleet)),
+		NetworkMin: math.Inf(1),
+		WeakestUAV: -1,
+	}
+	for i, p := range fleet {
+		e, err := p.HoverEnduranceMin()
+		if err != nil {
+			return MissionEndurance{}, fmt.Errorf("energy: UAV %d: %w", i, err)
+		}
+		out.PerUAVMin[i] = e
+		if e < out.NetworkMin {
+			out.NetworkMin = e
+			out.WeakestUAV = i
+		}
+	}
+	return out, nil
+}
+
+// RotationPlan computes a relief schedule: given the network endurance and
+// a swap overhead (fly-out + fly-in + handover) in minutes, it returns how
+// many relief sorties per UAV slot are needed to sustain a mission of the
+// given duration. A non-positive usable window (overhead >= endurance) is
+// an error.
+func RotationPlan(enduranceMin, swapOverheadMin, missionMin float64) (int, error) {
+	if enduranceMin <= 0 || missionMin < 0 || swapOverheadMin < 0 {
+		return 0, fmt.Errorf("energy: invalid rotation inputs (endurance %g, overhead %g, mission %g)",
+			enduranceMin, swapOverheadMin, missionMin)
+	}
+	usable := enduranceMin - swapOverheadMin
+	if usable <= 0 {
+		return 0, fmt.Errorf("energy: swap overhead %g min leaves no usable window of %g min endurance",
+			swapOverheadMin, enduranceMin)
+	}
+	if missionMin <= enduranceMin {
+		return 0, nil // the first battery covers the whole mission
+	}
+	return int(math.Ceil((missionMin - enduranceMin) / usable)), nil
+}

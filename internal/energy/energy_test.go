@@ -1,0 +1,166 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestProfileValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Profile)
+		wantErr bool
+	}{
+		{"m600-ok", func(*Profile) {}, false},
+		{"zero-mass", func(p *Profile) { p.MassKg = 0 }, true},
+		{"negative-payload", func(p *Profile) { p.PayloadKg = -1 }, true},
+		{"zero-rotor", func(p *Profile) { p.RotorRadiusM = 0 }, true},
+		{"zero-rotors", func(p *Profile) { p.Rotors = 0 }, true},
+		{"zero-battery", func(p *Profile) { p.BatteryWh = 0 }, true},
+		{"negative-avionics", func(p *Profile) { p.AvionicsW = -1 }, true},
+		{"bad-fom", func(p *Profile) { p.FigureOfMerit = 1.2 }, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			p := MatriceM600
+			tc.mutate(&p)
+			if err := p.Validate(); (err != nil) != tc.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestHoverPowerPlausibleRange(t *testing.T) {
+	// Public figures put a loaded M600's hover draw in the 1.5-3.5 kW band.
+	p, err := MatriceM600.HoverPowerW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 1500 || p > 3500 {
+		t.Errorf("M600 hover power %g W outside plausible 1.5-3.5 kW", p)
+	}
+	q, err := MatriceM300.HoverPowerW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q >= p {
+		t.Errorf("M300 power %g W should be below M600 %g W", q, p)
+	}
+}
+
+func TestHoverEndurancePlausible(t *testing.T) {
+	// Loaded endurance of these airframes is roughly 10-35 minutes.
+	for name, prof := range map[string]Profile{"M600": MatriceM600, "M300": MatriceM300} {
+		e, err := prof.HoverEnduranceMin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e < 8 || e > 40 {
+			t.Errorf("%s endurance %g min outside plausible 8-40", name, e)
+		}
+	}
+}
+
+func TestPayloadReducesEndurance(t *testing.T) {
+	light := MatriceM300
+	light.PayloadKg = 0.5
+	heavy := MatriceM300
+	heavy.PayloadKg = 2.7 // the spec-sheet maximum
+	le, err := light.HoverEnduranceMin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	he, err := heavy.HoverEnduranceMin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if he >= le {
+		t.Errorf("heavier payload should cut endurance: %g >= %g", he, le)
+	}
+}
+
+func TestHoverPowerScalesWithThrust(t *testing.T) {
+	// Momentum theory: P ~ T^1.5. Doubling all-up mass should raise power
+	// by about 2^1.5 = 2.83x (electronics excluded).
+	base := MatriceM300
+	base.AvionicsW = 0
+	base.BaseStationW = 0
+	double := base
+	double.MassKg *= 2
+	double.PayloadKg *= 2
+	p1, err := base.HoverPowerW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := double.HoverPowerW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := p2 / p1; math.Abs(ratio-2.828) > 0.01 {
+		t.Errorf("power ratio %g, want 2^1.5", ratio)
+	}
+}
+
+func TestNetworkEndurance(t *testing.T) {
+	fleet := []Profile{MatriceM600, MatriceM300, MatriceM600}
+	me, err := NetworkEndurance(fleet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(me.PerUAVMin) != 3 {
+		t.Fatalf("per-UAV list %v", me.PerUAVMin)
+	}
+	min := math.Inf(1)
+	for _, e := range me.PerUAVMin {
+		if e < min {
+			min = e
+		}
+	}
+	if me.NetworkMin != min {
+		t.Errorf("NetworkMin = %g, want %g", me.NetworkMin, min)
+	}
+	if me.WeakestUAV < 0 || me.PerUAVMin[me.WeakestUAV] != min {
+		t.Errorf("WeakestUAV = %d", me.WeakestUAV)
+	}
+}
+
+func TestNetworkEnduranceErrors(t *testing.T) {
+	if _, err := NetworkEndurance(nil); err == nil {
+		t.Error("empty fleet should fail")
+	}
+	bad := MatriceM300
+	bad.BatteryWh = 0
+	if _, err := NetworkEndurance([]Profile{bad}); err == nil {
+		t.Error("invalid profile should fail")
+	}
+}
+
+func TestRotationPlan(t *testing.T) {
+	tests := []struct {
+		name                         string
+		endurance, overhead, mission float64
+		want                         int
+		wantErr                      bool
+	}{
+		{"covered-by-first-battery", 30, 5, 25, 0, false},
+		{"exactly-first-battery", 30, 5, 30, 0, false},
+		{"one-relief", 30, 5, 50, 1, false},
+		{"long-mission", 30, 5, 300, 11, false}, // (300-30)/25 = 10.8 -> 11
+		{"zero-mission", 30, 5, 0, 0, false},
+		{"overhead-eats-endurance", 10, 10, 60, 0, true},
+		{"bad-endurance", 0, 5, 60, 0, true},
+		{"negative-mission", 30, 5, -1, 0, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := RotationPlan(tc.endurance, tc.overhead, tc.mission)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tc.wantErr)
+			}
+			if err == nil && got != tc.want {
+				t.Errorf("RotationPlan = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,79 @@
+package eval
+
+import (
+	"testing"
+)
+
+func TestAblationQuick(t *testing.T) {
+	cfg := Config{Base: quickParams(), S: 2, Workers: 2}
+	series, err := Ablation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Points) != 1 {
+		t.Fatalf("want a single ablation point, got %d", len(series.Points))
+	}
+	pt := series.Points[0]
+	full := pt.Served["full"]
+	if full <= 0 {
+		t.Fatal("full variant served nobody")
+	}
+	// Pruning must not change the result.
+	if pt.Served["no-prune"] != full {
+		t.Errorf("no-prune served %g != full %g", pt.Served["no-prune"], full)
+	}
+	// The literal pseudocode (grounded leftovers) can never serve more.
+	if pt.Served["ground-leftovers"] > full {
+		t.Errorf("ground-leftovers served %g > full %g", pt.Served["ground-leftovers"], full)
+	}
+	// Sampling can never beat exhaustive enumeration... with the leftover
+	// extension both are heuristics, but sampled evaluates a subset of the
+	// same candidates, so <= holds.
+	if pt.Served["sampled-10pct"] > full {
+		t.Errorf("sampled served %g > full %g", pt.Served["sampled-10pct"], full)
+	}
+	for _, name := range series.Algorithms {
+		if pt.Elapsed[name] <= 0 {
+			t.Errorf("variant %s has no elapsed time", name)
+		}
+	}
+}
+
+func TestTotalSubsets(t *testing.T) {
+	tests := []struct {
+		m, s int
+		want int64
+	}{
+		{36, 3, 7140}, {16, 2, 120}, {5, 0, 1}, {3, 5, 0},
+	}
+	for _, tc := range tests {
+		if got := totalSubsets(tc.m, tc.s); got != tc.want {
+			t.Errorf("totalSubsets(%d,%d) = %d, want %d", tc.m, tc.s, got, tc.want)
+		}
+	}
+}
+
+func TestHeterogeneityQuick(t *testing.T) {
+	cfg := Config{Base: quickParams(), S: 2, Workers: 2}
+	series, err := Heterogeneity(cfg, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Points) != 2 {
+		t.Fatalf("got %d points", len(series.Points))
+	}
+	for _, pt := range series.Points {
+		for _, alg := range series.Algorithms {
+			if _, ok := pt.Served[alg]; !ok {
+				t.Errorf("missing %s at spread %g", alg, pt.X)
+			}
+		}
+		// approAlg must stay at least as good as every baseline.
+		for _, alg := range series.Algorithms[1:] {
+			if pt.Served[alg] > pt.Served["approAlg"] {
+				t.Errorf("spread %g: %s served %g > approAlg %g",
+					pt.X, alg, pt.Served[alg], pt.Served["approAlg"])
+			}
+		}
+	}
+}

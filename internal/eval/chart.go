@@ -1,0 +1,130 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart renders a Series as an ASCII line chart, one glyph per algorithm,
+// so `uavbench` output is readable without leaving the terminal. The
+// y axis is served users; use ChartElapsed for running time.
+//
+// Rendering rules: points are scaled into a fixed-size raster; each
+// algorithm gets a stable glyph; collisions show the glyph of the
+// alphabetically-first algorithm at that cell with a '*'.
+func (s *Series) Chart(width, height int) string {
+	return s.chart(width, height, "served users", func(p Point, alg string) (float64, bool) {
+		v, ok := p.Served[alg]
+		return v, ok
+	})
+}
+
+// ChartElapsed renders running time (seconds, log10-scaled when the spread
+// exceeds two decades, which is Fig. 6(b)'s natural presentation).
+func (s *Series) ChartElapsed(width, height int) string {
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, p := range s.Points {
+		for _, alg := range s.Algorithms {
+			if d, ok := p.Elapsed[alg]; ok && d > 0 {
+				v := d.Seconds()
+				minV = math.Min(minV, v)
+				maxV = math.Max(maxV, v)
+			}
+		}
+	}
+	logScale := maxV > 0 && minV > 0 && maxV/minV > 100
+	label := "running time (s)"
+	if logScale {
+		label = "running time (log10 s)"
+	}
+	return s.chart(width, height, label, func(p Point, alg string) (float64, bool) {
+		d, ok := p.Elapsed[alg]
+		if !ok || d <= 0 {
+			return 0, false
+		}
+		v := d.Seconds()
+		if logScale {
+			return math.Log10(v), true
+		}
+		return v, true
+	})
+}
+
+// glyphs are assigned to algorithms in their series order.
+var chartGlyphs = []byte{'o', 'x', '+', '^', '#', '@', '%', '&'}
+
+func (s *Series) chart(width, height int, yLabel string, value func(Point, string) (float64, bool)) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 5 {
+		height = 5
+	}
+	if len(s.Points) == 0 || len(s.Algorithms) == 0 {
+		return "(empty series)\n"
+	}
+	minX, maxX := s.Points[0].X, s.Points[0].X
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range s.Points {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		for _, alg := range s.Algorithms {
+			if v, ok := value(p, alg); ok {
+				minY = math.Min(minY, v)
+				maxY = math.Max(maxY, v)
+			}
+		}
+	}
+	if math.IsInf(minY, 1) {
+		return "(series has no values)\n"
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+
+	raster := make([][]byte, height)
+	for r := range raster {
+		raster[r] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(x, y float64, glyph byte) {
+		col := int(math.Round((x - minX) / (maxX - minX) * float64(width-1)))
+		row := int(math.Round((y - minY) / (maxY - minY) * float64(height-1)))
+		row = height - 1 - row // invert: top row is max
+		if raster[row][col] != ' ' && raster[row][col] != glyph {
+			raster[row][col] = '*'
+			return
+		}
+		raster[row][col] = glyph
+	}
+	for ai, alg := range s.Algorithms {
+		glyph := chartGlyphs[ai%len(chartGlyphs)]
+		for _, p := range s.Points {
+			if v, ok := value(p, alg); ok {
+				plot(p.X, v, glyph)
+			}
+		}
+	}
+
+	var b strings.Builder
+	if s.Title != "" {
+		fmt.Fprintf(&b, "%s\n", s.Title)
+	}
+	fmt.Fprintf(&b, "%s (top %.4g, bottom %.4g)\n", yLabel, maxY, minY)
+	for _, row := range raster {
+		b.WriteString("  |")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("  +" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, "   %s: %.4g .. %.4g\n", s.XLabel, minX, maxX)
+	legend := make([]string, 0, len(s.Algorithms))
+	for ai, alg := range s.Algorithms {
+		legend = append(legend, fmt.Sprintf("%c=%s", chartGlyphs[ai%len(chartGlyphs)], alg))
+	}
+	fmt.Fprintf(&b, "   %s (* = overlap)\n", strings.Join(legend, " "))
+	return b.String()
+}

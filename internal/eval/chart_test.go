@@ -1,0 +1,93 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func chartSeries() *Series {
+	return &Series{
+		Title:      "demo",
+		XLabel:     "K",
+		Algorithms: []string{"approAlg", "MCS"},
+		Points: []Point{
+			{
+				X:       2,
+				Served:  map[string]float64{"approAlg": 100, "MCS": 90},
+				Elapsed: map[string]time.Duration{"approAlg": time.Second, "MCS": time.Millisecond},
+			},
+			{
+				X:       10,
+				Served:  map[string]float64{"approAlg": 400, "MCS": 300},
+				Elapsed: map[string]time.Duration{"approAlg": 100 * time.Second, "MCS": 2 * time.Millisecond},
+			},
+		},
+	}
+}
+
+func TestChartBasics(t *testing.T) {
+	out := chartSeries().Chart(40, 10)
+	for _, want := range []string{"demo", "served users", "K: 2 .. 10", "o=approAlg", "x=MCS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Both glyphs must appear in the raster.
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Errorf("chart lacks data glyphs:\n%s", out)
+	}
+	// The maximum (400) labels the top.
+	if !strings.Contains(out, "top 400") {
+		t.Errorf("chart missing top label:\n%s", out)
+	}
+}
+
+func TestChartElapsedUsesLogScale(t *testing.T) {
+	// Spread 1ms..100s is five decades: log scale must kick in.
+	out := chartSeries().ChartElapsed(40, 8)
+	if !strings.Contains(out, "log10") {
+		t.Errorf("expected log scale:\n%s", out)
+	}
+}
+
+func TestChartEdgeCases(t *testing.T) {
+	empty := &Series{XLabel: "x"}
+	if out := empty.Chart(20, 6); !strings.Contains(out, "empty series") {
+		t.Errorf("empty series output: %q", out)
+	}
+	// Tiny dimensions are clamped, single point handled.
+	single := &Series{
+		XLabel:     "n",
+		Algorithms: []string{"a"},
+		Points:     []Point{{X: 5, Served: map[string]float64{"a": 7}}},
+	}
+	out := single.Chart(1, 1)
+	if !strings.Contains(out, "o=a") {
+		t.Errorf("single-point chart broken:\n%s", out)
+	}
+	// A series whose points have no values.
+	novals := &Series{
+		XLabel:     "n",
+		Algorithms: []string{"a"},
+		Points:     []Point{{X: 1, Served: map[string]float64{}}},
+	}
+	if out := novals.Chart(20, 6); !strings.Contains(out, "no values") {
+		t.Errorf("no-values output: %q", out)
+	}
+}
+
+func TestChartOverlapMarker(t *testing.T) {
+	s := &Series{
+		XLabel:     "x",
+		Algorithms: []string{"a", "b"},
+		Points: []Point{
+			{X: 1, Served: map[string]float64{"a": 5, "b": 5}},
+			{X: 2, Served: map[string]float64{"a": 9, "b": 1}},
+		},
+	}
+	out := s.Chart(20, 6)
+	if !strings.Contains(out, "*") {
+		t.Errorf("identical points should render the overlap marker:\n%s", out)
+	}
+}

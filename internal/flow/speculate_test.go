@@ -1,0 +1,130 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBeginRollbackRestoresState(t *testing.T) {
+	nw := NewNetwork(4)
+	h1 := mustEdge(t, nw, 0, 1, 3)
+	mustEdge(t, nw, 1, 3, 3)
+	if f := mustFlow(t, nw, 0, 3); f != 3 {
+		t.Fatalf("base flow = %d", f)
+	}
+	if err := nw.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	// Speculatively add a second route and more capacity, then augment.
+	mustEdge(t, nw, 0, 2, 5)
+	mustEdge(t, nw, 2, 3, 5)
+	if err := nw.AddCapacity(h1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if f := mustFlow(t, nw, 0, 3); f != 5 {
+		t.Fatalf("speculative gain = %d, want 5", f)
+	}
+	nw.Rollback()
+	// After rollback, the network must behave exactly like before Begin:
+	// no extra flow is available.
+	if f := mustFlow(t, nw, 0, 3); f != 0 {
+		t.Errorf("flow after rollback = %d, want 0", f)
+	}
+	if nw.Flow(h1) != 3 {
+		t.Errorf("edge flow after rollback = %d, want 3", nw.Flow(h1))
+	}
+}
+
+func TestBeginCannotNest(t *testing.T) {
+	nw := NewNetwork(2)
+	if err := nw.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Begin(); err == nil {
+		t.Error("nested Begin should fail")
+	}
+	nw.Rollback()
+	if err := nw.Begin(); err != nil {
+		t.Errorf("Begin after Rollback should work: %v", err)
+	}
+	nw.Rollback()
+}
+
+func TestRollbackWithoutBeginIsNoop(t *testing.T) {
+	nw := NewNetwork(2)
+	mustEdge(t, nw, 0, 1, 1)
+	nw.Rollback() // must not panic or corrupt
+	if f := mustFlow(t, nw, 0, 1); f != 1 {
+		t.Errorf("flow = %d, want 1", f)
+	}
+}
+
+func TestCommitSpeculationKeepsState(t *testing.T) {
+	nw := NewNetwork(3)
+	mustEdge(t, nw, 0, 1, 2)
+	if err := nw.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	mustEdge(t, nw, 1, 2, 2)
+	if f := mustFlow(t, nw, 0, 2); f != 2 {
+		t.Fatalf("flow = %d", f)
+	}
+	nw.CommitSpeculation()
+	nw.Rollback() // no active speculation: no-op
+	// The committed flow persists.
+	reach := nw.MinCutReachable(0)
+	if reach[2] {
+		t.Error("sink should be cut off after committed max flow")
+	}
+}
+
+// TestSpeculativeGainMatchesClone cross-validates the journal/rollback path
+// against the clone-based evaluation on random networks.
+func TestSpeculativeGainMatchesCloneProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 120; trial++ {
+		n, es := buildRandom(r)
+		nw := NewNetwork(n)
+		for _, e := range es {
+			mustEdge(t, nw, e.u, e.v, e.c)
+		}
+		mustFlow(t, nw, 0, n-1)
+
+		// Candidate extension: a few random extra edges.
+		type raw struct{ u, v, c int }
+		var extra []raw
+		for i := 0; i < 1+r.Intn(4); i++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v {
+				extra = append(extra, raw{u, v, r.Intn(8)})
+			}
+		}
+
+		// Clone-based gain (reference).
+		cl := nw.Clone()
+		for _, e := range extra {
+			mustEdge(t, cl, e.u, e.v, e.c)
+		}
+		want := mustFlow(t, cl, 0, n-1)
+
+		// Speculative gain, twice, to prove rollback restores state.
+		for rep := 0; rep < 2; rep++ {
+			if err := nw.Begin(); err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range extra {
+				mustEdge(t, nw, e.u, e.v, e.c)
+			}
+			got := mustFlow(t, nw, 0, n-1)
+			nw.Rollback()
+			if got != want {
+				t.Fatalf("trial %d rep %d: speculative gain %d != clone gain %d", trial, rep, got, want)
+			}
+		}
+
+		// After rollbacks the committed flow is still maximal: no residual path.
+		if f := mustFlow(t, nw, 0, n-1); f != 0 {
+			t.Fatalf("trial %d: network gained %d flow after rollback", trial, f)
+		}
+	}
+}

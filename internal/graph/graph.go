@@ -1,0 +1,213 @@
+// Package graph provides the graph algorithms the deployment algorithms are
+// built on: undirected adjacency graphs, breadth-first hop distances,
+// connectivity queries, minimum spanning trees, and the Eulerian-path
+// machinery (tree doubling and path splitting) that underlies the analysis in
+// Section III-A of the paper.
+//
+// Nodes are dense integer indices in [0, N). The package has no dependencies
+// beyond the standard library.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Undirected is an undirected graph on nodes 0..n-1 stored as adjacency
+// lists. The zero value is an empty graph with no nodes; use New to create a
+// graph with a fixed node count.
+type Undirected struct {
+	adj [][]int
+}
+
+// New returns an undirected graph with n nodes and no edges.
+func New(n int) *Undirected {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	return &Undirected{adj: make([][]int, n)}
+}
+
+// N returns the number of nodes.
+func (g *Undirected) N() int { return len(g.adj) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Undirected) NumEdges() int {
+	total := 0
+	for _, nb := range g.adj {
+		total += len(nb)
+	}
+	return total / 2
+}
+
+// AddEdge inserts the undirected edge (u, v). Self loops and duplicate edges
+// are rejected with an error so that callers notice modeling mistakes.
+func (g *Undirected) AddEdge(u, v int) error {
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, len(g.adj))
+	}
+	if u == v {
+		return fmt.Errorf("graph: self loop at node %d", u)
+	}
+	for _, w := range g.adj[u] {
+		if w == v {
+			return fmt.Errorf("graph: duplicate edge (%d,%d)", u, v)
+		}
+	}
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+	return nil
+}
+
+// HasEdge reports whether the undirected edge (u, v) exists.
+func (g *Undirected) HasEdge(u, v int) bool {
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		return false
+	}
+	for _, w := range g.adj[u] {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors returns the adjacency list of u. The returned slice is owned by
+// the graph and must not be modified.
+func (g *Undirected) Neighbors(u int) []int { return g.adj[u] }
+
+// Degree returns the number of neighbors of u.
+func (g *Undirected) Degree(u int) int { return len(g.adj[u]) }
+
+// Unreachable is the hop distance reported by BFS for nodes that cannot be
+// reached from the source set.
+const Unreachable = -1
+
+// BFS returns the hop distance from src to every node, with Unreachable (-1)
+// for nodes in other components.
+func (g *Undirected) BFS(src int) []int {
+	return g.MultiSourceBFS([]int{src})
+}
+
+// MultiSourceBFS returns, for every node, the minimum hop distance to any of
+// the given source nodes. Sources are at distance 0. Nodes unreachable from
+// every source get Unreachable (-1).
+func (g *Undirected) MultiSourceBFS(sources []int) []int {
+	dist := make([]int, len(g.adj))
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	queue := make([]int, 0, len(sources))
+	for _, s := range sources {
+		if s < 0 || s >= len(g.adj) {
+			panic(fmt.Sprintf("graph: BFS source %d out of range [0,%d)", s, len(g.adj)))
+		}
+		if dist[s] == Unreachable {
+			dist[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, v := range g.adj[u] {
+			if dist[v] == Unreachable {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// ShortestPath returns one shortest (fewest-hops) path from src to dst,
+// inclusive of both endpoints, or nil if dst is unreachable. A path from a
+// node to itself is the single-node path.
+func (g *Undirected) ShortestPath(src, dst int) []int {
+	if src == dst {
+		return []int{src}
+	}
+	prev := make([]int, len(g.adj))
+	for i := range prev {
+		prev[i] = -2 // unvisited
+	}
+	prev[src] = -1
+	queue := []int{src}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, v := range g.adj[u] {
+			if prev[v] != -2 {
+				continue
+			}
+			prev[v] = u
+			if v == dst {
+				return buildPath(prev, dst)
+			}
+			queue = append(queue, v)
+		}
+	}
+	return nil
+}
+
+func buildPath(prev []int, dst int) []int {
+	var rev []int
+	for v := dst; v != -1; v = prev[v] {
+		rev = append(rev, v)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Connected reports whether the subgraph induced by the given nodes is
+// connected (every node in the set reachable from every other using only
+// edges between set members). The empty set and singleton sets are connected.
+func (g *Undirected) Connected(nodes []int) bool {
+	if len(nodes) <= 1 {
+		return true
+	}
+	in := make(map[int]bool, len(nodes))
+	for _, v := range nodes {
+		in[v] = true
+	}
+	seen := map[int]bool{nodes[0]: true}
+	queue := []int{nodes[0]}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, v := range g.adj[u] {
+			if in[v] && !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return len(seen) == len(in)
+}
+
+// Components returns the connected components of the whole graph, each as a
+// sorted slice of node indices; components are ordered by smallest member.
+func (g *Undirected) Components() [][]int {
+	seen := make([]bool, len(g.adj))
+	var comps [][]int
+	for s := range g.adj {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		seen[s] = true
+		queue := []int{s}
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			comp = append(comp, u)
+			for _, v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}

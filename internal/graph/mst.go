@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// WeightedEdge is an undirected edge with a weight, used by the MST
+// algorithms. In the deployment algorithm the weight is the minimum number of
+// hops between two chosen hovering locations in the location graph G
+// (Section III-E, construction of G'_j).
+type WeightedEdge struct {
+	U, V   int
+	Weight float64
+}
+
+// MST computes a minimum spanning tree of the weighted graph on n nodes given
+// by edges, using Kruskal's algorithm. It returns the chosen edges and their
+// total weight. Edge order among equal weights is broken deterministically by
+// (Weight, U, V), so results are reproducible.
+//
+// It returns an error if the edges do not connect all n nodes.
+func MST(n int, edges []WeightedEdge) ([]WeightedEdge, float64, error) {
+	if n <= 0 {
+		return nil, 0, nil
+	}
+	sorted := make([]WeightedEdge, len(edges))
+	copy(sorted, edges)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Weight != b.Weight {
+			return a.Weight < b.Weight
+		}
+		if a.U != b.U {
+			return a.U < b.U
+		}
+		return a.V < b.V
+	})
+	uf := NewUnionFind(n)
+	tree := make([]WeightedEdge, 0, n-1)
+	var total float64
+	for _, e := range sorted {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return nil, 0, fmt.Errorf("graph: MST edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+		}
+		if uf.Union(e.U, e.V) {
+			tree = append(tree, e)
+			total += e.Weight
+			if len(tree) == n-1 {
+				break
+			}
+		}
+	}
+	if len(tree) != n-1 {
+		return nil, 0, fmt.Errorf("graph: MST input on %d nodes is disconnected (%d components)", n, uf.Sets())
+	}
+	return tree, total, nil
+}
+
+// CompleteHopMST builds the complete weighted graph over the given terminal
+// nodes of g, where the weight of (t_i, t_j) is their hop distance in g, and
+// returns its MST edges expressed in *terminal indices* (0..len(terminals)-1)
+// together with the total hop weight.
+//
+// This is exactly the G'_j / T'_j construction of Algorithm 2 (lines 13-14).
+// It returns an error if some pair of terminals is disconnected in g.
+func CompleteHopMST(g *Undirected, terminals []int) ([]WeightedEdge, float64, error) {
+	k := len(terminals)
+	if k <= 1 {
+		return nil, 0, nil
+	}
+	edges := make([]WeightedEdge, 0, k*(k-1)/2)
+	for i := 0; i < k; i++ {
+		dist := g.BFS(terminals[i])
+		for j := i + 1; j < k; j++ {
+			d := dist[terminals[j]]
+			if d == Unreachable {
+				return nil, 0, fmt.Errorf("graph: terminals %d and %d are disconnected", terminals[i], terminals[j])
+			}
+			edges = append(edges, WeightedEdge{U: i, V: j, Weight: float64(d)})
+		}
+	}
+	return MSTEdgesChecked(k, edges)
+}
+
+// MSTEdgesChecked is MST with the same contract, split out so callers that
+// already built a complete edge list reuse it.
+func MSTEdgesChecked(n int, edges []WeightedEdge) ([]WeightedEdge, float64, error) {
+	return MST(n, edges)
+}
+
+// SteinerLowerBound returns a lower bound on the number of nodes of any
+// connected subgraph of g containing all terminals: the number of terminals
+// plus, for each MST edge in the hop metric, the intermediate nodes that a
+// shortest path realizing it must contain (hops-1)... summed over a *minimum
+// spanning tree* of the terminals divided by the worst-case overlap. The
+// bound used here is
+//
+//	s + sum over MST edges of (hop-1) taken over the cheapest s-1 edges,
+//
+// which is valid because connecting s terminals requires at least the MST
+// weight of the hop metric divided by 2 in general; for our pruning we use
+// the weaker but always-sound bound based on the maximum pairwise hop
+// distance: any connected subgraph containing terminals u and v has at least
+// hop(u,v)+1 nodes.
+//
+// It returns an error if the terminals are disconnected in g.
+func SteinerLowerBound(g *Undirected, terminals []int) (int, error) {
+	k := len(terminals)
+	if k == 0 {
+		return 0, nil
+	}
+	if k == 1 {
+		return 1, nil
+	}
+	maxHop := 0
+	for i := 0; i < k; i++ {
+		dist := g.BFS(terminals[i])
+		for j := i + 1; j < k; j++ {
+			d := dist[terminals[j]]
+			if d == Unreachable {
+				return 0, fmt.Errorf("graph: terminals %d and %d are disconnected", terminals[i], terminals[j])
+			}
+			if d > maxHop {
+				maxHop = d
+			}
+		}
+	}
+	// Any connected subgraph containing two nodes at hop distance h has at
+	// least h+1 nodes; with k terminals it also has at least k nodes.
+	lb := maxHop + 1
+	if k > lb {
+		lb = k
+	}
+	return lb, nil
+}

@@ -1,0 +1,225 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMSTTriangle(t *testing.T) {
+	edges := []WeightedEdge{
+		{0, 1, 1}, {1, 2, 2}, {0, 2, 3},
+	}
+	tree, total, err := MST(3, edges)
+	if err != nil {
+		t.Fatalf("MST: %v", err)
+	}
+	if len(tree) != 2 || total != 3 {
+		t.Errorf("MST = %v total %g, want 2 edges total 3", tree, total)
+	}
+}
+
+func TestMSTDisconnected(t *testing.T) {
+	if _, _, err := MST(4, []WeightedEdge{{0, 1, 1}, {2, 3, 1}}); err == nil {
+		t.Error("MST of disconnected graph should fail")
+	}
+}
+
+func TestMSTOutOfRange(t *testing.T) {
+	if _, _, err := MST(2, []WeightedEdge{{0, 5, 1}}); err == nil {
+		t.Error("MST with out-of-range edge should fail")
+	}
+}
+
+func TestMSTEmptyAndSingleton(t *testing.T) {
+	if tree, total, err := MST(0, nil); err != nil || len(tree) != 0 || total != 0 {
+		t.Errorf("MST(0) = %v %g %v", tree, total, err)
+	}
+	if tree, total, err := MST(1, nil); err != nil || len(tree) != 0 || total != 0 {
+		t.Errorf("MST(1) = %v %g %v", tree, total, err)
+	}
+}
+
+func TestMSTDeterministicTieBreak(t *testing.T) {
+	edges := []WeightedEdge{{1, 2, 1}, {0, 1, 1}, {0, 2, 1}}
+	t1, _, err := MST(3, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-run with the same logical edge set in another order.
+	edges2 := []WeightedEdge{{0, 2, 1}, {1, 2, 1}, {0, 1, 1}}
+	t2, _, err := MST(3, edges2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Errorf("MST not deterministic: %v vs %v", t1, t2)
+		}
+	}
+}
+
+// naiveMSTWeight computes the MST weight by Prim's algorithm on an adjacency
+// matrix, as an independent oracle.
+func naiveMSTWeight(n int, edges []WeightedEdge) float64 {
+	const inf = math.MaxFloat64
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+		for j := range w[i] {
+			w[i][j] = inf
+		}
+	}
+	for _, e := range edges {
+		if e.Weight < w[e.U][e.V] {
+			w[e.U][e.V] = e.Weight
+			w[e.V][e.U] = e.Weight
+		}
+	}
+	in := make([]bool, n)
+	best := make([]float64, n)
+	for i := range best {
+		best[i] = inf
+	}
+	best[0] = 0
+	total := 0.0
+	for it := 0; it < n; it++ {
+		u := -1
+		for v := 0; v < n; v++ {
+			if !in[v] && (u == -1 || best[v] < best[u]) {
+				u = v
+			}
+		}
+		in[u] = true
+		total += best[u]
+		for v := 0; v < n; v++ {
+			if !in[v] && w[u][v] < best[v] {
+				best[v] = w[u][v]
+			}
+		}
+	}
+	return total
+}
+
+func TestMSTAgainstPrimProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + r.Intn(12)
+		var edges []WeightedEdge
+		// Ensure connectivity with a random spanning path, then extras.
+		perm := r.Perm(n)
+		for i := 0; i+1 < n; i++ {
+			edges = append(edges, WeightedEdge{perm[i], perm[i+1], float64(1 + r.Intn(20))})
+		}
+		for e := 0; e < n; e++ {
+			u, v := r.Intn(n), r.Intn(n)
+			if u != v {
+				edges = append(edges, WeightedEdge{u, v, float64(1 + r.Intn(20))})
+			}
+		}
+		_, total, err := MST(n, edges)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if want := naiveMSTWeight(n, edges); math.Abs(total-want) > 1e-9 {
+			t.Fatalf("trial %d: Kruskal %g != Prim %g", trial, total, want)
+		}
+	}
+}
+
+func TestCompleteHopMST(t *testing.T) {
+	// 1x5 line graph; terminals 0, 2, 4 -> MST hop weight 2+2 = 4.
+	g := lineGraph(t, 5)
+	tree, total, err := CompleteHopMST(g, []int{0, 2, 4})
+	if err != nil {
+		t.Fatalf("CompleteHopMST: %v", err)
+	}
+	if total != 4 || len(tree) != 2 {
+		t.Errorf("total = %g edges %v, want total 4 with 2 edges", total, tree)
+	}
+}
+
+func TestCompleteHopMSTSingleton(t *testing.T) {
+	g := lineGraph(t, 3)
+	tree, total, err := CompleteHopMST(g, []int{1})
+	if err != nil || tree != nil || total != 0 {
+		t.Errorf("singleton = %v %g %v", tree, total, err)
+	}
+}
+
+func TestCompleteHopMSTDisconnected(t *testing.T) {
+	g := New(4)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 2, 3)
+	if _, _, err := CompleteHopMST(g, []int{0, 3}); err == nil {
+		t.Error("disconnected terminals should fail")
+	}
+}
+
+func TestSteinerLowerBound(t *testing.T) {
+	g := gridGraph(t, 3, 3)
+	tests := []struct {
+		name      string
+		terminals []int
+		want      int
+	}{
+		{"empty", nil, 0},
+		{"single", []int{4}, 1},
+		{"adjacent", []int{0, 1}, 2},
+		{"corners", []int{0, 8}, 5}, // hop distance 4 -> at least 5 nodes
+		{"three-corners", []int{0, 2, 8}, 5},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := SteinerLowerBound(g, tc.terminals)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Errorf("SteinerLowerBound(%v) = %d, want %d", tc.terminals, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSteinerLowerBoundIsSound(t *testing.T) {
+	// Property: any connected subgraph containing the terminals has at least
+	// SteinerLowerBound nodes. We verify against the actual connector used by
+	// the algorithm (MST over hop metric + shortest paths).
+	r := rand.New(rand.NewSource(5))
+	g := gridGraph(t, 4, 4)
+	for trial := 0; trial < 100; trial++ {
+		k := 2 + r.Intn(3)
+		seen := map[int]bool{}
+		var terms []int
+		for len(terms) < k {
+			v := r.Intn(16)
+			if !seen[v] {
+				seen[v] = true
+				terms = append(terms, v)
+			}
+		}
+		lb, err := SteinerLowerBound(g, terms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, _, err := CompleteHopMST(g, terms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes := map[int]bool{}
+		for _, tm := range terms {
+			nodes[tm] = true
+		}
+		for _, e := range tree {
+			p := g.ShortestPath(terms[e.U], terms[e.V])
+			for _, v := range p {
+				nodes[v] = true
+			}
+		}
+		if len(nodes) < lb {
+			t.Fatalf("trial %d: connector uses %d nodes < lower bound %d (terminals %v)",
+				trial, len(nodes), lb, terms)
+		}
+	}
+}

@@ -1,0 +1,329 @@
+// Package matroid provides the matroid machinery of Section II-E and
+// Sections III-B/III-C: a matroid interface over integer ground sets, the
+// partition matroid M1 (each UAV deployed at most once), the hop-count
+// matroid M2 (Eq. (1): at most Q_h chosen locations at hop distance >= h
+// from the anchor set), and a lazy greedy that maximizes a monotone
+// submodular function subject to the intersection of matroid constraints
+// with the 1/(rho+1) guarantee of Fisher, Nemhauser and Wolsey [9].
+package matroid
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Matroid is an independence system over ground-set elements 0..N-1. All
+// implementations in this package satisfy the matroid axioms (non-empty,
+// hereditary, augmentation); the test suite verifies this exhaustively on
+// small instances.
+type Matroid interface {
+	// Independent reports whether the given element set is independent.
+	// Elements may appear in any order; duplicates are the caller's bug.
+	Independent(set []int) bool
+	// CanAdd reports whether set + {e} is independent, assuming set already
+	// is. Implementations may exploit the assumption for speed.
+	CanAdd(set []int, e int) bool
+}
+
+// Partition is a partition matroid: ground elements are labeled with a part,
+// and an independent set contains at most Cap[p] elements of part p.
+//
+// M1 of Section III-B is the instance where element <k, v_j> has part k
+// (the UAV index) and every capacity is 1: a UAV flies to at most one
+// location.
+type Partition struct {
+	// Part[e] is the part label of element e, in [0, len(Cap)).
+	Part []int
+	// Cap[p] is the maximum number of elements of part p in an independent set.
+	Cap []int
+}
+
+// NewUAVPlacementMatroid returns M1 for k UAVs and m candidate locations:
+// element index e = uav*m + loc, part = uav, capacity 1 per UAV.
+func NewUAVPlacementMatroid(k, m int) Partition {
+	part := make([]int, k*m)
+	capacities := make([]int, k)
+	for uav := 0; uav < k; uav++ {
+		capacities[uav] = 1
+		for loc := 0; loc < m; loc++ {
+			part[uav*m+loc] = uav
+		}
+	}
+	return Partition{Part: part, Cap: capacities}
+}
+
+// Independent implements Matroid.
+func (p Partition) Independent(set []int) bool {
+	counts := make(map[int]int)
+	for _, e := range set {
+		if e < 0 || e >= len(p.Part) {
+			return false
+		}
+		pt := p.Part[e]
+		counts[pt]++
+		if counts[pt] > p.Cap[pt] {
+			return false
+		}
+	}
+	return true
+}
+
+// CanAdd implements Matroid.
+func (p Partition) CanAdd(set []int, e int) bool {
+	if e < 0 || e >= len(p.Part) {
+		return false
+	}
+	pt := p.Part[e]
+	count := 1
+	for _, x := range set {
+		if p.Part[x] == pt {
+			count++
+			if count > p.Cap[pt] {
+				return false
+			}
+		}
+	}
+	return count <= p.Cap[pt]
+}
+
+// HopCount is the matroid M2 of Section III-C. Ground elements are candidate
+// locations; Dist[e] is the minimum hop distance (in the location graph G)
+// from element e to the anchor set {v*_1..v*_s}, or Unreachable if e cannot
+// reach any anchor. Q[h] (0 <= h <= hmax) caps the number of chosen elements
+// at hop distance >= h; Q[0] = L caps the total selection size.
+//
+// The constraint family {elements with Dist >= h} is a nested chain, so the
+// counting constraints define a laminar — hence valid — matroid.
+type HopCount struct {
+	Dist []int
+	Q    []int
+}
+
+// Unreachable marks elements with no path to the anchor set.
+const Unreachable = -1
+
+// HMax returns hmax, the largest admissible hop distance.
+func (m HopCount) HMax() int { return len(m.Q) - 1 }
+
+// Independent implements Matroid.
+func (m HopCount) Independent(set []int) bool {
+	counts := make([]int, len(m.Q))
+	for _, e := range set {
+		if e < 0 || e >= len(m.Dist) {
+			return false
+		}
+		d := m.Dist[e]
+		if d == Unreachable || d > m.HMax() {
+			return false
+		}
+		// Element at distance d contributes to every threshold h <= d.
+		for h := 0; h <= d; h++ {
+			counts[h]++
+			if counts[h] > m.Q[h] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CanAdd implements Matroid.
+func (m HopCount) CanAdd(set []int, e int) bool {
+	if e < 0 || e >= len(m.Dist) {
+		return false
+	}
+	d := m.Dist[e]
+	if d == Unreachable || d > m.HMax() {
+		return false
+	}
+	counts := make([]int, d+1)
+	for _, x := range set {
+		dx := m.Dist[x]
+		if dx > d {
+			dx = d
+		}
+		for h := 0; h <= dx; h++ {
+			counts[h]++
+		}
+	}
+	for h := 0; h <= d; h++ {
+		if counts[h]+1 > m.Q[h] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersection bundles several matroids; a set is feasible if independent in
+// every one. The intersection of rho matroids is what the greedy's
+// 1/(rho+1) guarantee is stated against.
+type Intersection []Matroid
+
+// Independent reports independence in every member matroid.
+func (in Intersection) Independent(set []int) bool {
+	for _, m := range in {
+		if !m.Independent(set) {
+			return false
+		}
+	}
+	return true
+}
+
+// CanAdd reports addability in every member matroid.
+func (in Intersection) CanAdd(set []int, e int) bool {
+	for _, m := range in {
+		if !m.CanAdd(set, e) {
+			return false
+		}
+	}
+	return true
+}
+
+// Oracle answers marginal-gain queries for the lazy greedy. Gains must be
+// consistent with a monotone submodular objective: the gain of an element
+// must not increase as the committed set grows (rounds advance). Commit
+// realizes a selection; after Commit the oracle's committed set grows by e.
+type Oracle interface {
+	// Gain returns the marginal objective gain of adding element e to the
+	// committed set at the given round (0-based selection index).
+	Gain(round, e int) (int, error)
+	// Commit adds element e at the given round and returns its realized gain.
+	Commit(round, e int) (int, error)
+}
+
+// Bounder is an optional Oracle extension: Bound(e) returns a static upper
+// bound on the marginal gain of element e that is valid at every round
+// (e.g. min(capacity, reachable users) for UAV placement). When an oracle
+// implements Bounder, LazyGreedy seeds the priority queue with these bounds
+// instead of +infinity, skipping exact evaluations of hopeless elements.
+type Bounder interface {
+	Bound(e int) int
+}
+
+// pqItem is one lazy-greedy priority-queue entry.
+type pqItem struct {
+	elem  int
+	bound int // upper bound on the current marginal gain
+	round int // round at which bound was computed; -1 = never
+}
+
+type pq []pqItem
+
+func (q pq) Len() int { return len(q) }
+func (q pq) Less(i, j int) bool {
+	if q[i].bound != q[j].bound {
+		return q[i].bound > q[j].bound
+	}
+	return q[i].elem < q[j].elem // deterministic tie-break
+}
+func (q pq) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)   { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// LazyGreedy selects up to rounds elements from the ground set, each round
+// adding the feasible element of maximum marginal gain (ties broken by the
+// smallest element index), using lazy re-evaluation of stale gain bounds.
+//
+// feasible(selected, e) must report whether selected+{e} stays independent in
+// the constraint system; with matroid constraints pass Intersection.CanAdd.
+// The function stops early when no feasible element remains and returns the
+// selected elements in selection order.
+//
+// Lazy evaluation is exact for monotone submodular objectives: a gain bound
+// computed at an earlier round upper-bounds the true current gain, so when a
+// freshly evaluated element still tops the queue it is the true argmax.
+func LazyGreedy(ground []int, rounds int, feasible func(selected []int, e int) bool, o Oracle) ([]int, error) {
+	if rounds < 0 {
+		return nil, fmt.Errorf("matroid: negative round count %d", rounds)
+	}
+	q := make(pq, 0, len(ground))
+	bounder, hasBounds := o.(Bounder)
+	for _, e := range ground {
+		bound := math.MaxInt32
+		if hasBounds {
+			bound = bounder.Bound(e)
+		}
+		q = append(q, pqItem{elem: e, bound: bound, round: -1})
+	}
+	heap.Init(&q)
+
+	var selected []int
+	inSelected := make(map[int]bool, rounds)
+	for round := 0; round < rounds; round++ {
+		var chosen *pqItem
+		for q.Len() > 0 {
+			it := heap.Pop(&q).(pqItem)
+			if inSelected[it.elem] {
+				continue
+			}
+			if !feasible(selected, it.elem) {
+				// With matroid constraints an element infeasible now can
+				// never become feasible again (selected only grows and
+				// independence is hereditary), so drop it for good.
+				continue
+			}
+			if it.round == round {
+				chosen = &it
+				break
+			}
+			g, err := o.Gain(round, it.elem)
+			if err != nil {
+				return nil, fmt.Errorf("matroid: gain(%d, %d): %w", round, it.elem, err)
+			}
+			it.bound = g
+			it.round = round
+			heap.Push(&q, it)
+		}
+		if chosen == nil {
+			break // no feasible element remains
+		}
+		if _, err := o.Commit(round, chosen.elem); err != nil {
+			return nil, fmt.Errorf("matroid: commit(%d, %d): %w", round, chosen.elem, err)
+		}
+		selected = append(selected, chosen.elem)
+		inSelected[chosen.elem] = true
+	}
+	return selected, nil
+}
+
+// NaiveGreedy is the reference implementation of the same selection rule
+// without lazy evaluation; used by tests to validate LazyGreedy and by
+// callers that prefer simplicity over speed.
+func NaiveGreedy(ground []int, rounds int, feasible func(selected []int, e int) bool, o Oracle) ([]int, error) {
+	if rounds < 0 {
+		return nil, fmt.Errorf("matroid: negative round count %d", rounds)
+	}
+	var selected []int
+	inSelected := make(map[int]bool)
+	for round := 0; round < rounds; round++ {
+		best, bestGain := -1, -1
+		for _, e := range ground {
+			if inSelected[e] || !feasible(selected, e) {
+				continue
+			}
+			g, err := o.Gain(round, e)
+			if err != nil {
+				return nil, fmt.Errorf("matroid: gain(%d, %d): %w", round, e, err)
+			}
+			if g > bestGain || (g == bestGain && best != -1 && e < best) {
+				best, bestGain = e, g
+			}
+		}
+		if best == -1 {
+			break
+		}
+		if _, err := o.Commit(round, best); err != nil {
+			return nil, fmt.Errorf("matroid: commit(%d, %d): %w", round, best, err)
+		}
+		selected = append(selected, best)
+		inSelected[best] = true
+	}
+	return selected, nil
+}

@@ -1,0 +1,400 @@
+package matroid
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// --- matroid-axiom oracle ---------------------------------------------------
+
+// checkAxioms exhaustively verifies the three matroid axioms on the ground
+// set 0..n-1 (n must be small).
+func checkAxioms(t *testing.T, m Matroid, n int) {
+	t.Helper()
+	if n > 16 {
+		t.Fatalf("checkAxioms: ground set %d too large", n)
+	}
+	// Enumerate all subsets as bitmasks.
+	toSet := func(mask int) []int {
+		var s []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				s = append(s, i)
+			}
+		}
+		return s
+	}
+	indep := make([]bool, 1<<n)
+	for mask := 0; mask < 1<<n; mask++ {
+		indep[mask] = m.Independent(toSet(mask))
+	}
+	if !indep[0] {
+		t.Error("axiom (i): empty set must be independent")
+	}
+	for mask := 0; mask < 1<<n; mask++ {
+		if !indep[mask] {
+			continue
+		}
+		// Hereditary: all subsets of an independent set are independent.
+		for sub := mask; sub > 0; sub = (sub - 1) & mask {
+			if !indep[sub] {
+				t.Errorf("axiom (ii): %b independent but subset %b is not", mask, sub)
+			}
+		}
+		// Augmentation against every smaller independent set.
+		for other := 0; other < 1<<n; other++ {
+			if !indep[other] || popcount(other) >= popcount(mask) {
+				continue
+			}
+			found := false
+			for i := 0; i < n; i++ {
+				bit := 1 << i
+				if mask&bit != 0 && other&bit == 0 && indep[other|bit] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("axiom (iii): cannot augment %b from %b", other, mask)
+			}
+		}
+	}
+	// CanAdd must agree with Independent on singletons-over-independent-sets.
+	for mask := 0; mask < 1<<n; mask++ {
+		if !indep[mask] {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			bit := 1 << i
+			if mask&bit != 0 {
+				continue
+			}
+			if got, want := m.CanAdd(toSet(mask), i), indep[mask|bit]; got != want {
+				t.Errorf("CanAdd(%b, %d) = %v, want %v", mask, i, got, want)
+			}
+		}
+	}
+}
+
+func popcount(x int) int {
+	c := 0
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}
+
+func TestPartitionMatroidAxioms(t *testing.T) {
+	tests := []struct {
+		name string
+		m    Partition
+		n    int
+	}{
+		{"uniform-cap1", Partition{Part: []int{0, 0, 0, 0}, Cap: []int{1}}, 4},
+		{"two-parts", Partition{Part: []int{0, 0, 1, 1, 1}, Cap: []int{1, 2}}, 5},
+		{"zero-cap", Partition{Part: []int{0, 1, 1}, Cap: []int{0, 2}}, 3},
+		{"uav-placement", NewUAVPlacementMatroid(2, 3), 6},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			checkAxioms(t, tc.m, tc.n)
+		})
+	}
+}
+
+func TestHopCountMatroidAxioms(t *testing.T) {
+	tests := []struct {
+		name string
+		m    HopCount
+	}{
+		{"paper-fig2d", HopCount{
+			// Fig. 2(d): Q0=10 nodes total, Q1=7, Q2=1 with s=3 anchors.
+			// Small instance: distances 0,0,1,1,2 with Q = [5,3,1].
+			Dist: []int{0, 0, 1, 1, 2},
+			Q:    []int{5, 3, 1},
+		}},
+		{"tight-total", HopCount{Dist: []int{0, 1, 1, 2}, Q: []int{2, 2, 1}}},
+		{"with-unreachable", HopCount{Dist: []int{0, Unreachable, 1, 3}, Q: []int{3, 2}}},
+		{"all-zero", HopCount{Dist: []int{0, 0, 0}, Q: []int{2}}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			checkAxioms(t, tc.m, len(tc.m.Dist))
+		})
+	}
+}
+
+func TestHopCountMatroidAxiomsRandomProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		size := 3 + r.Intn(5)
+		hmax := 1 + r.Intn(3)
+		m := HopCount{Dist: make([]int, size), Q: make([]int, hmax+1)}
+		for i := range m.Dist {
+			m.Dist[i] = r.Intn(hmax + 2) // may exceed hmax -> loop elements
+			if r.Intn(6) == 0 {
+				m.Dist[i] = Unreachable
+			}
+		}
+		m.Q[0] = 1 + r.Intn(size)
+		for h := 1; h <= hmax; h++ {
+			q := m.Q[h-1] - r.Intn(2)
+			if q < 0 {
+				q = 0
+			}
+			m.Q[h] = q
+		}
+		checkAxioms(t, m, size)
+	}
+}
+
+func TestHopCountRejectsBeyondHmaxAndUnreachable(t *testing.T) {
+	m := HopCount{Dist: []int{0, 2, Unreachable}, Q: []int{3, 1}}
+	if m.Independent([]int{1}) {
+		t.Error("element beyond hmax accepted")
+	}
+	if m.Independent([]int{2}) {
+		t.Error("unreachable element accepted")
+	}
+	if m.CanAdd(nil, 1) || m.CanAdd(nil, 2) {
+		t.Error("CanAdd accepted invalid elements")
+	}
+	if m.CanAdd(nil, -1) || m.CanAdd(nil, 99) {
+		t.Error("CanAdd accepted out-of-range elements")
+	}
+}
+
+func TestIntersection(t *testing.T) {
+	p := Partition{Part: []int{0, 0, 1}, Cap: []int{1, 1}}
+	h := HopCount{Dist: []int{0, 1, 1}, Q: []int{2, 1}}
+	in := Intersection{p, h}
+	if !in.Independent([]int{0, 2}) {
+		t.Error("{0,2} should be independent in both")
+	}
+	// {0,1} violates the partition matroid (same part).
+	if in.Independent([]int{0, 1}) {
+		t.Error("{0,1} should violate M1")
+	}
+	// {1,2} violates the hop matroid (two elements at distance >= 1, Q1=1).
+	if in.Independent([]int{1, 2}) {
+		t.Error("{1,2} should violate M2")
+	}
+	if in.CanAdd([]int{0}, 1) {
+		t.Error("CanAdd(0->1) should fail the partition constraint")
+	}
+	if !in.CanAdd([]int{0}, 2) {
+		t.Error("CanAdd(0->2) should succeed")
+	}
+}
+
+// --- greedy -----------------------------------------------------------------
+
+// coverOracle is a weighted-coverage objective: each element covers a set of
+// items; the gain of an element is the number of still-uncovered items it
+// covers. Monotone submodular by construction.
+type coverOracle struct {
+	covers  [][]int
+	covered map[int]bool
+}
+
+func newCoverOracle(covers [][]int) *coverOracle {
+	return &coverOracle{covers: covers, covered: map[int]bool{}}
+}
+
+func (o *coverOracle) Gain(_, e int) (int, error) {
+	g := 0
+	for _, item := range o.covers[e] {
+		if !o.covered[item] {
+			g++
+		}
+	}
+	return g, nil
+}
+
+func (o *coverOracle) Commit(_, e int) (int, error) {
+	g := 0
+	for _, item := range o.covers[e] {
+		if !o.covered[item] {
+			o.covered[item] = true
+			g++
+		}
+	}
+	return g, nil
+}
+
+func unconstrained(_ []int, _ int) bool { return true }
+
+func TestLazyGreedyCoverage(t *testing.T) {
+	covers := [][]int{
+		{1, 2, 3},
+		{3, 4},
+		{5},
+		{1, 2, 3, 4},
+	}
+	sel, err := LazyGreedy([]int{0, 1, 2, 3}, 2, unconstrained, newCoverOracle(covers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Element 3 covers 4 items; then element 2 adds item 5 (elements 0,1 add
+	// nothing new... element 0 adds 0, element 1 adds 0, element 2 adds 1).
+	if len(sel) != 2 || sel[0] != 3 || sel[1] != 2 {
+		t.Errorf("selection = %v, want [3 2]", sel)
+	}
+}
+
+func TestLazyGreedyRespectsMatroids(t *testing.T) {
+	covers := [][]int{{1, 2}, {3, 4}, {5, 6}, {7, 8}}
+	p := Partition{Part: []int{0, 0, 1, 1}, Cap: []int{1, 1}}
+	in := Intersection{p}
+	sel, err := LazyGreedy([]int{0, 1, 2, 3}, 4, in.CanAdd, newCoverOracle(covers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 {
+		t.Fatalf("selection = %v, want 2 elements (one per part)", sel)
+	}
+	if !in.Independent(sel) {
+		t.Errorf("selection %v violates matroid", sel)
+	}
+}
+
+func TestLazyGreedyNegativeRounds(t *testing.T) {
+	if _, err := LazyGreedy(nil, -1, unconstrained, newCoverOracle(nil)); err == nil {
+		t.Error("negative rounds should fail")
+	}
+}
+
+func TestLazyGreedyEmptyGround(t *testing.T) {
+	sel, err := LazyGreedy(nil, 3, unconstrained, newCoverOracle(nil))
+	if err != nil || len(sel) != 0 {
+		t.Errorf("sel=%v err=%v", sel, err)
+	}
+}
+
+func TestLazyGreedyMatchesNaiveProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 80; trial++ {
+		nElems := 2 + r.Intn(10)
+		nItems := 1 + r.Intn(15)
+		covers := make([][]int, nElems)
+		for e := range covers {
+			for it := 0; it < nItems; it++ {
+				if r.Intn(3) == 0 {
+					covers[e] = append(covers[e], it)
+				}
+			}
+		}
+		// Random partition matroid + hop matroid constraints.
+		part := make([]int, nElems)
+		nParts := 1 + r.Intn(3)
+		for i := range part {
+			part[i] = r.Intn(nParts)
+		}
+		caps := make([]int, nParts)
+		for i := range caps {
+			caps[i] = 1 + r.Intn(2)
+		}
+		dist := make([]int, nElems)
+		for i := range dist {
+			dist[i] = r.Intn(3)
+		}
+		q := []int{2 + r.Intn(nElems), 1 + r.Intn(3), r.Intn(2)}
+		in := Intersection{Partition{Part: part, Cap: caps}, HopCount{Dist: dist, Q: q}}
+
+		ground := make([]int, nElems)
+		for i := range ground {
+			ground[i] = i
+		}
+		rounds := 1 + r.Intn(nElems)
+		lazySel, err := LazyGreedy(ground, rounds, in.CanAdd, newCoverOracle(covers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		naiveSel, err := NaiveGreedy(ground, rounds, in.CanAdd, newCoverOracle(covers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(lazySel) != len(naiveSel) {
+			t.Fatalf("trial %d: lazy %v vs naive %v", trial, lazySel, naiveSel)
+		}
+		for i := range lazySel {
+			if lazySel[i] != naiveSel[i] {
+				t.Fatalf("trial %d: lazy %v vs naive %v", trial, lazySel, naiveSel)
+			}
+		}
+		if !in.Independent(lazySel) {
+			t.Fatalf("trial %d: selection %v violates constraints", trial, lazySel)
+		}
+	}
+}
+
+// TestGreedyApproximationBound verifies the Fisher-Nemhauser-Wolsey bound on
+// random instances: greedy coverage under rho matroids is at least
+// 1/(rho+1) of the best coverage among all independent sets.
+func TestGreedyApproximationBoundProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		nElems := 2 + r.Intn(8)
+		nItems := 1 + r.Intn(12)
+		covers := make([][]int, nElems)
+		for e := range covers {
+			for it := 0; it < nItems; it++ {
+				if r.Intn(3) == 0 {
+					covers[e] = append(covers[e], it)
+				}
+			}
+		}
+		part := make([]int, nElems)
+		for i := range part {
+			part[i] = r.Intn(2)
+		}
+		p := Partition{Part: part, Cap: []int{1 + r.Intn(2), 1 + r.Intn(2)}}
+		dist := make([]int, nElems)
+		for i := range dist {
+			dist[i] = r.Intn(2)
+		}
+		h := HopCount{Dist: dist, Q: []int{1 + r.Intn(nElems), 1 + r.Intn(2)}}
+		in := Intersection{p, h}
+
+		ground := make([]int, nElems)
+		for i := range ground {
+			ground[i] = i
+		}
+		sel, err := LazyGreedy(ground, nElems, in.CanAdd, newCoverOracle(covers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedyVal := coverageOf(covers, sel)
+
+		// Exhaustive best independent set.
+		best := 0
+		for mask := 0; mask < 1<<nElems; mask++ {
+			var set []int
+			for i := 0; i < nElems; i++ {
+				if mask&(1<<i) != 0 {
+					set = append(set, i)
+				}
+			}
+			if !in.Independent(set) {
+				continue
+			}
+			if v := coverageOf(covers, set); v > best {
+				best = v
+			}
+		}
+		// rho = 2 matroids -> bound 1/3.
+		if 3*greedyVal < best {
+			t.Fatalf("trial %d: greedy %d < OPT/3 (OPT=%d)", trial, greedyVal, best)
+		}
+	}
+}
+
+func coverageOf(covers [][]int, set []int) int {
+	seen := map[int]bool{}
+	for _, e := range set {
+		for _, it := range covers[e] {
+			seen[it] = true
+		}
+	}
+	return len(seen)
+}

@@ -1,0 +1,219 @@
+// Package netsim is a discrete-event queueing simulator for deployed UAV
+// base stations. It exists to reproduce the paper's motivation (Section I):
+// the SkyCore functions of a UAV-mounted LTE base station run on a
+// resource-constrained onboard server, so when too many users attach to one
+// UAV, per-request latency explodes and network throughput collapses — which
+// is why each UAV k enforces a service capacity C_k.
+//
+// Each UAV is modelled as a FIFO single-server queue (M/M/1): attached users
+// generate requests as independent Poisson processes and the onboard server
+// completes them at an exponential rate. The simulator reports per-station
+// sojourn times, throughput, and queue occupancy, so examples and benches
+// can show the latency knee as attachment count crosses the stability point.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Config holds the simulation parameters.
+type Config struct {
+	// ArrivalRatePerUser is each attached user's request rate (req/s).
+	ArrivalRatePerUser float64
+	// ServiceRate is the onboard server's completion rate (req/s).
+	ServiceRate float64
+	// Duration is the simulated time horizon in seconds.
+	Duration float64
+	// WarmUp discards statistics before this time (seconds).
+	WarmUp float64
+	// Seed drives all randomness; equal seeds give identical runs.
+	Seed int64
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.ArrivalRatePerUser <= 0:
+		return fmt.Errorf("netsim: arrival rate %g must be positive", c.ArrivalRatePerUser)
+	case c.ServiceRate <= 0:
+		return fmt.Errorf("netsim: service rate %g must be positive", c.ServiceRate)
+	case c.Duration <= 0:
+		return fmt.Errorf("netsim: duration %g must be positive", c.Duration)
+	case c.WarmUp < 0 || c.WarmUp >= c.Duration:
+		return fmt.Errorf("netsim: warm-up %g must be in [0, duration)", c.WarmUp)
+	}
+	return nil
+}
+
+// StationStats summarizes one UAV's simulated service quality.
+type StationStats struct {
+	// Users is the number of users attached to the station.
+	Users int
+	// Completed is the number of requests finished after warm-up.
+	Completed int64
+	// MeanSojournSec is the average request time-in-system (queue + service).
+	MeanSojournSec float64
+	// P99SojournSec is the 99th-percentile time-in-system.
+	P99SojournSec float64
+	// ThroughputRps is completions per second after warm-up.
+	ThroughputRps float64
+	// MaxQueue is the largest observed number of requests in the system.
+	MaxQueue int
+	// Utilization is the offered load rho = users*lambda/mu (may exceed 1).
+	Utilization float64
+}
+
+// event kinds.
+const (
+	evArrival = iota
+	evDeparture
+)
+
+type event struct {
+	at      float64
+	seq     int64 // tie-break for determinism
+	kind    int
+	station int
+	user    int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Simulate runs the queueing simulation: loads[k] users are attached to
+// station k. It returns per-station statistics.
+func Simulate(loads []int, cfg Config) ([]StationStats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	for k, l := range loads {
+		if l < 0 {
+			return nil, fmt.Errorf("netsim: station %d has negative load %d", k, l)
+		}
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	stats := make([]StationStats, len(loads))
+
+	var h eventHeap
+	var seq int64
+	push := func(at float64, kind, station, user int) {
+		heap.Push(&h, event{at: at, seq: seq, kind: kind, station: station, user: user})
+		seq++
+	}
+	expo := func(rate float64) float64 { return r.ExpFloat64() / rate }
+
+	// Per-station FIFO queues of arrival timestamps.
+	queues := make([][]float64, len(loads))
+	inSystem := make([]int, len(loads))
+	sojourns := make([][]float64, len(loads))
+
+	for k, users := range loads {
+		stats[k].Users = users
+		stats[k].Utilization = float64(users) * cfg.ArrivalRatePerUser / cfg.ServiceRate
+		for u := 0; u < users; u++ {
+			push(expo(cfg.ArrivalRatePerUser), evArrival, k, u)
+		}
+	}
+
+	for h.Len() > 0 {
+		e := heap.Pop(&h).(event)
+		if e.at > cfg.Duration {
+			break
+		}
+		k := e.station
+		switch e.kind {
+		case evArrival:
+			queues[k] = append(queues[k], e.at)
+			inSystem[k]++
+			if inSystem[k] > stats[k].MaxQueue {
+				stats[k].MaxQueue = inSystem[k]
+			}
+			if inSystem[k] == 1 { // server idle: start service now
+				push(e.at+expo(cfg.ServiceRate), evDeparture, k, e.user)
+			}
+			// Schedule the user's next request.
+			push(e.at+expo(cfg.ArrivalRatePerUser), evArrival, k, e.user)
+		case evDeparture:
+			arrivedAt := queues[k][0]
+			queues[k] = queues[k][1:]
+			inSystem[k]--
+			if e.at >= cfg.WarmUp {
+				stats[k].Completed++
+				sojourns[k] = append(sojourns[k], e.at-arrivedAt)
+			}
+			if inSystem[k] > 0 { // start the next request
+				push(e.at+expo(cfg.ServiceRate), evDeparture, k, 0)
+			}
+		}
+	}
+
+	horizon := cfg.Duration - cfg.WarmUp
+	for k := range stats {
+		stats[k].ThroughputRps = float64(stats[k].Completed) / horizon
+		if n := len(sojourns[k]); n > 0 {
+			var sum float64
+			for _, s := range sojourns[k] {
+				sum += s
+			}
+			stats[k].MeanSojournSec = sum / float64(n)
+			stats[k].P99SojournSec = percentile(sojourns[k], 0.99)
+		}
+	}
+	return stats, nil
+}
+
+// percentile returns the p-quantile (0 < p <= 1) of xs by nearest-rank on a
+// sorted copy.
+func percentile(xs []float64, p float64) float64 {
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	idx := int(math.Ceil(p*float64(len(cp)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(cp) {
+		idx = len(cp) - 1
+	}
+	return cp[idx]
+}
+
+// TheoreticalMeanSojourn returns the analytic M/M/1 mean time in system
+// 1/(mu - n*lambda) for n attached users, or +Inf when the queue is
+// unstable (rho >= 1). Tests compare the simulator against this.
+func TheoreticalMeanSojourn(users int, cfg Config) float64 {
+	lambda := float64(users) * cfg.ArrivalRatePerUser
+	if lambda >= cfg.ServiceRate {
+		return math.Inf(1)
+	}
+	return 1 / (cfg.ServiceRate - lambda)
+}
+
+// StableCapacity returns the largest user count a station can carry while
+// keeping utilization at or below the target rho (e.g. 0.8): the queueing
+// rationale behind the paper's service capacities C_k.
+func StableCapacity(cfg Config, targetRho float64) int {
+	if targetRho <= 0 {
+		return 0
+	}
+	return int(targetRho * cfg.ServiceRate / cfg.ArrivalRatePerUser)
+}

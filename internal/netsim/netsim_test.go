@@ -1,0 +1,189 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+func baseConfig() Config {
+	return Config{
+		ArrivalRatePerUser: 0.1,
+		ServiceRate:        20,
+		Duration:           5000,
+		WarmUp:             500,
+		Seed:               1,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr bool
+	}{
+		{"ok", func(*Config) {}, false},
+		{"zero-arrival", func(c *Config) { c.ArrivalRatePerUser = 0 }, true},
+		{"zero-service", func(c *Config) { c.ServiceRate = 0 }, true},
+		{"zero-duration", func(c *Config) { c.Duration = 0 }, true},
+		{"negative-warmup", func(c *Config) { c.WarmUp = -1 }, true},
+		{"warmup-beyond-duration", func(c *Config) { c.WarmUp = 1e9 }, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			c := baseConfig()
+			tc.mutate(&c)
+			if err := c.Validate(); (err != nil) != tc.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestSimulateMatchesMM1Theory(t *testing.T) {
+	cfg := baseConfig()
+	// 100 users at lambda 0.1 vs mu 20 -> rho = 0.5, sojourn = 1/(20-10) = 0.1 s.
+	stats, err := Simulate([]int{100}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := stats[0].MeanSojournSec
+	want := TheoreticalMeanSojourn(100, cfg)
+	if math.Abs(got-want)/want > 0.15 {
+		t.Errorf("mean sojourn %g, theory %g (>15%% off)", got, want)
+	}
+	// Throughput should be close to the offered load (stable system).
+	offered := 100 * cfg.ArrivalRatePerUser
+	if math.Abs(stats[0].ThroughputRps-offered)/offered > 0.1 {
+		t.Errorf("throughput %g, offered %g", stats[0].ThroughputRps, offered)
+	}
+}
+
+func TestLatencyKneeAtOverload(t *testing.T) {
+	// The paper's motivation: latency explodes once attachments exceed the
+	// stable capacity. Compare a station at rho=0.5 against one at rho=1.5.
+	cfg := baseConfig()
+	cfg.Duration = 2000
+	cfg.WarmUp = 200
+	stats, err := Simulate([]int{100, 300}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calm, overloaded := stats[0], stats[1]
+	if overloaded.MeanSojournSec < 10*calm.MeanSojournSec {
+		t.Errorf("overload sojourn %g not >> calm %g", overloaded.MeanSojournSec, calm.MeanSojournSec)
+	}
+	if overloaded.Utilization <= 1 {
+		t.Errorf("utilization %g, want > 1", overloaded.Utilization)
+	}
+	// Throughput saturates at roughly the service rate, not the offered load.
+	if overloaded.ThroughputRps > cfg.ServiceRate*1.05 {
+		t.Errorf("overloaded throughput %g exceeds service rate %g", overloaded.ThroughputRps, cfg.ServiceRate)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Duration = 500
+	cfg.WarmUp = 50
+	a, err := Simulate([]int{50, 150}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate([]int{50, 150}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range a {
+		if a[k] != b[k] {
+			t.Errorf("station %d differs across identical runs", k)
+		}
+	}
+}
+
+func TestSimulateEmptyStations(t *testing.T) {
+	stats, err := Simulate([]int{0, 10}, baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats[0].Completed != 0 || stats[0].MeanSojournSec != 0 {
+		t.Errorf("idle station has stats %+v", stats[0])
+	}
+	if stats[1].Completed == 0 {
+		t.Error("loaded station completed nothing")
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	if _, err := Simulate([]int{-1}, baseConfig()); err == nil {
+		t.Error("negative load should fail")
+	}
+	bad := baseConfig()
+	bad.ServiceRate = 0
+	if _, err := Simulate([]int{1}, bad); err == nil {
+		t.Error("invalid config should fail")
+	}
+}
+
+func TestSojournGrowsWithLoad(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Duration = 2000
+	cfg.WarmUp = 200
+	loads := []int{20, 80, 140, 180}
+	stats, err := Simulate(loads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(stats); i++ {
+		if stats[i].MeanSojournSec <= stats[i-1].MeanSojournSec {
+			t.Errorf("sojourn not increasing: load %d gives %g, load %d gives %g",
+				loads[i-1], stats[i-1].MeanSojournSec, loads[i], stats[i].MeanSojournSec)
+		}
+	}
+	// P99 must dominate the mean.
+	for i, s := range stats {
+		if s.P99SojournSec < s.MeanSojournSec {
+			t.Errorf("station %d: p99 %g below mean %g", i, s.P99SojournSec, s.MeanSojournSec)
+		}
+	}
+}
+
+func TestTheoreticalMeanSojourn(t *testing.T) {
+	cfg := baseConfig()
+	if got := TheoreticalMeanSojourn(100, cfg); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("theory = %g, want 0.1", got)
+	}
+	if got := TheoreticalMeanSojourn(200, cfg); !math.IsInf(got, 1) {
+		t.Errorf("rho=1 should be unstable, got %g", got)
+	}
+	if got := TheoreticalMeanSojourn(300, cfg); !math.IsInf(got, 1) {
+		t.Errorf("rho>1 should be unstable, got %g", got)
+	}
+}
+
+func TestStableCapacity(t *testing.T) {
+	cfg := baseConfig()
+	// rho 0.8: 0.8 * 20 / 0.1 = 160 users.
+	if got := StableCapacity(cfg, 0.8); got != 160 {
+		t.Errorf("StableCapacity = %d, want 160", got)
+	}
+	if got := StableCapacity(cfg, 0); got != 0 {
+		t.Errorf("StableCapacity(0) = %d", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	if got := percentile(xs, 0.5); got != 3 {
+		t.Errorf("median = %g, want 3", got)
+	}
+	if got := percentile(xs, 1.0); got != 5 {
+		t.Errorf("max = %g, want 5", got)
+	}
+	if got := percentile([]float64{7}, 0.99); got != 7 {
+		t.Errorf("singleton = %g, want 7", got)
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("percentile mutated its input")
+	}
+}

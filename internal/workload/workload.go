@@ -1,0 +1,228 @@
+// Package workload generates synthetic disaster-area scenarios matching the
+// paper's evaluation setup (Section IV-A): user positions whose density is
+// fat-tailed ("many users are located at a small portion of places while a
+// few users are sparsely located at many other places", following the human
+// mobility scaling of Song et al. [30]), plus heterogeneous UAV fleets with
+// capacities drawn uniformly from [C_min, C_max].
+//
+// All generators are deterministic functions of their seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/uav-coverage/uavnet/internal/geom"
+)
+
+// Distribution selects a user-placement model.
+type Distribution int
+
+const (
+	// FatTailed places users in clusters whose sizes follow a truncated
+	// Zipf law: a few dense hotspots plus a sparse background. This is the
+	// paper's evaluation distribution.
+	FatTailed Distribution = iota
+	// Uniform scatters users independently and uniformly over the area.
+	Uniform
+	// SingleHotspot concentrates most users around one Gaussian hotspot,
+	// a stress case for capacity-aware placement.
+	SingleHotspot
+)
+
+// String implements fmt.Stringer.
+func (d Distribution) String() string {
+	switch d {
+	case FatTailed:
+		return "fat-tailed"
+	case Uniform:
+		return "uniform"
+	case SingleHotspot:
+		return "single-hotspot"
+	default:
+		return fmt.Sprintf("distribution(%d)", int(d))
+	}
+}
+
+// UserOptions tune the fat-tailed generator. The zero value selects
+// defaults matching the paper's qualitative description.
+type UserOptions struct {
+	// Clusters is the number of hotspot clusters; 0 selects
+	// max(3, n/250) clusters.
+	Clusters int
+	// ZipfExponent shapes the cluster-mass distribution; 0 selects 1.2.
+	ZipfExponent float64
+	// ClusterSigma is the standard deviation of user spread around a
+	// cluster center, in meters; 0 selects 5% of the shorter area side.
+	ClusterSigma float64
+	// BackgroundFrac is the fraction of users scattered uniformly outside
+	// clusters; 0 selects 0.1. Set to a negative value for exactly zero.
+	BackgroundFrac float64
+}
+
+func (o UserOptions) withDefaults(grid geom.Grid, n int) UserOptions {
+	if o.Clusters <= 0 {
+		o.Clusters = n / 250
+		if o.Clusters < 3 {
+			o.Clusters = 3
+		}
+	}
+	if o.ZipfExponent == 0 {
+		o.ZipfExponent = 1.2
+	}
+	if o.ClusterSigma == 0 {
+		shorter := math.Min(grid.Length, grid.Width)
+		o.ClusterSigma = 0.05 * shorter
+	}
+	switch {
+	case o.BackgroundFrac < 0:
+		o.BackgroundFrac = 0
+	case o.BackgroundFrac == 0:
+		o.BackgroundFrac = 0.1
+	}
+	return o
+}
+
+// Users generates n user positions inside the grid area under the given
+// distribution and seed.
+func Users(grid geom.Grid, n int, dist Distribution, seed int64) ([]geom.Point2, error) {
+	return UsersWithOptions(grid, n, dist, seed, UserOptions{})
+}
+
+// UsersWithOptions is Users with explicit fat-tailed tuning.
+func UsersWithOptions(grid geom.Grid, n int, dist Distribution, seed int64, opts UserOptions) ([]geom.Point2, error) {
+	if err := grid.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("workload: negative user count %d", n)
+	}
+	r := rand.New(rand.NewSource(seed))
+	switch dist {
+	case Uniform:
+		return uniformUsers(r, grid, n), nil
+	case SingleHotspot:
+		return hotspotUsers(r, grid, n), nil
+	case FatTailed:
+		return fatTailedUsers(r, grid, n, opts.withDefaults(grid, n)), nil
+	default:
+		return nil, fmt.Errorf("workload: unknown distribution %v", dist)
+	}
+}
+
+func uniformUsers(r *rand.Rand, grid geom.Grid, n int) []geom.Point2 {
+	out := make([]geom.Point2, n)
+	for i := range out {
+		out[i] = geom.Point2{X: r.Float64() * grid.Length, Y: r.Float64() * grid.Width}
+	}
+	return out
+}
+
+func hotspotUsers(r *rand.Rand, grid geom.Grid, n int) []geom.Point2 {
+	center := geom.Point2{
+		X: grid.Length * (0.3 + 0.4*r.Float64()),
+		Y: grid.Width * (0.3 + 0.4*r.Float64()),
+	}
+	sigma := 0.1 * math.Min(grid.Length, grid.Width)
+	out := make([]geom.Point2, n)
+	for i := range out {
+		if r.Float64() < 0.1 {
+			out[i] = geom.Point2{X: r.Float64() * grid.Length, Y: r.Float64() * grid.Width}
+			continue
+		}
+		out[i] = grid.Clamp(geom.Point2{
+			X: center.X + r.NormFloat64()*sigma,
+			Y: center.Y + r.NormFloat64()*sigma,
+		})
+	}
+	return out
+}
+
+// fatTailedUsers draws cluster masses from a truncated Zipf law so that the
+// largest clusters hold most users, then scatters a background fraction
+// uniformly.
+func fatTailedUsers(r *rand.Rand, grid geom.Grid, n int, opts UserOptions) []geom.Point2 {
+	background := int(math.Round(float64(n) * opts.BackgroundFrac))
+	clustered := n - background
+
+	// Cluster masses: weight of cluster c is 1/(c+1)^alpha, normalized.
+	weights := make([]float64, opts.Clusters)
+	var sum float64
+	for c := range weights {
+		weights[c] = 1 / math.Pow(float64(c+1), opts.ZipfExponent)
+		sum += weights[c]
+	}
+	counts := make([]int, opts.Clusters)
+	assigned := 0
+	for c := range counts {
+		counts[c] = int(float64(clustered) * weights[c] / sum)
+		assigned += counts[c]
+	}
+	// Distribute rounding leftovers to the heaviest clusters.
+	for i := 0; assigned < clustered; i++ {
+		counts[i%opts.Clusters]++
+		assigned++
+	}
+
+	centers := make([]geom.Point2, opts.Clusters)
+	for c := range centers {
+		centers[c] = geom.Point2{X: r.Float64() * grid.Length, Y: r.Float64() * grid.Width}
+	}
+
+	out := make([]geom.Point2, 0, n)
+	for c, count := range counts {
+		for i := 0; i < count; i++ {
+			out = append(out, grid.Clamp(geom.Point2{
+				X: centers[c].X + r.NormFloat64()*opts.ClusterSigma,
+				Y: centers[c].Y + r.NormFloat64()*opts.ClusterSigma,
+			}))
+		}
+	}
+	for i := 0; i < background; i++ {
+		out = append(out, geom.Point2{X: r.Float64() * grid.Length, Y: r.Float64() * grid.Width})
+	}
+	return out
+}
+
+// Capacities draws k UAV service capacities uniformly from [cmin, cmax],
+// the paper's heterogeneous-fleet model (C_min = 50, C_max = 300 in
+// Section IV-A).
+func Capacities(k, cmin, cmax int, seed int64) ([]int, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("workload: negative UAV count %d", k)
+	}
+	if cmin < 0 || cmax < cmin {
+		return nil, fmt.Errorf("workload: invalid capacity interval [%d, %d]", cmin, cmax)
+	}
+	r := rand.New(rand.NewSource(seed))
+	out := make([]int, k)
+	for i := range out {
+		out[i] = cmin + r.Intn(cmax-cmin+1)
+	}
+	return out, nil
+}
+
+// GiniCoefficient measures the spatial skew of positions over the grid's
+// cells: 0 means perfectly even occupancy, values near 1 mean extreme
+// concentration. Tests use it to verify the fat-tailed generator actually
+// produces a skewed density.
+func GiniCoefficient(grid geom.Grid, positions []geom.Point2) float64 {
+	m := grid.NumCells()
+	if m == 0 || len(positions) == 0 {
+		return 0
+	}
+	counts := make([]float64, m)
+	for _, p := range positions {
+		counts[grid.CellOf(p)]++
+	}
+	// Gini = sum_i sum_j |x_i - x_j| / (2 n^2 mean).
+	var num float64
+	for i := range counts {
+		for j := range counts {
+			num += math.Abs(counts[i] - counts[j])
+		}
+	}
+	mean := float64(len(positions)) / float64(m)
+	return num / (2 * float64(m) * float64(m) * mean)
+}

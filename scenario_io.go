@@ -1,0 +1,64 @@
+package uavnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// scenarioFile is the on-disk JSON layout, versioned so future format
+// changes stay readable.
+type scenarioFile struct {
+	Version  int       `json:"version"`
+	Scenario *Scenario `json:"scenario"`
+}
+
+const scenarioFileVersion = 1
+
+// MarshalScenario encodes a scenario as versioned, indented JSON.
+func MarshalScenario(sc *Scenario) ([]byte, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("uavnet: refusing to marshal invalid scenario: %w", err)
+	}
+	return json.MarshalIndent(scenarioFile{Version: scenarioFileVersion, Scenario: sc}, "", "  ")
+}
+
+// UnmarshalScenario decodes and validates a scenario produced by
+// MarshalScenario.
+func UnmarshalScenario(data []byte) (*Scenario, error) {
+	var f scenarioFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("uavnet: bad scenario JSON: %w", err)
+	}
+	if f.Version != scenarioFileVersion {
+		return nil, fmt.Errorf("uavnet: unsupported scenario version %d (want %d)", f.Version, scenarioFileVersion)
+	}
+	if f.Scenario == nil {
+		return nil, fmt.Errorf("uavnet: scenario JSON has no scenario object")
+	}
+	if err := f.Scenario.Validate(); err != nil {
+		return nil, fmt.Errorf("uavnet: loaded scenario is invalid: %w", err)
+	}
+	return f.Scenario, nil
+}
+
+// SaveScenario writes a scenario to path as JSON.
+func SaveScenario(path string, sc *Scenario) error {
+	data, err := MarshalScenario(sc)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("uavnet: %w", err)
+	}
+	return nil
+}
+
+// LoadScenario reads a scenario saved by SaveScenario.
+func LoadScenario(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("uavnet: %w", err)
+	}
+	return UnmarshalScenario(data)
+}

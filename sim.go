@@ -1,0 +1,69 @@
+package uavnet
+
+import (
+	"github.com/uav-coverage/uavnet/internal/mobility"
+	"github.com/uav-coverage/uavnet/internal/netsim"
+)
+
+// Queueing-simulator facade (see internal/netsim): models each deployed UAV
+// base station as an M/M/1 queue to expose the latency/throughput collapse
+// that motivates per-UAV service capacities.
+type (
+	// QueueConfig holds the queueing-simulation parameters.
+	QueueConfig = netsim.Config
+	// StationStats summarizes one UAV's simulated service quality.
+	StationStats = netsim.StationStats
+)
+
+// SimulateQueues runs the discrete-event queueing simulation with loads[k]
+// users attached to UAV k.
+func SimulateQueues(loads []int, cfg QueueConfig) ([]StationStats, error) {
+	return netsim.Simulate(loads, cfg)
+}
+
+// TheoreticalMeanSojourn returns the analytic M/M/1 mean time in system for
+// a station with the given number of attached users (+Inf when unstable).
+func TheoreticalMeanSojourn(users int, cfg QueueConfig) float64 {
+	return netsim.TheoreticalMeanSojourn(users, cfg)
+}
+
+// StableCapacity returns the largest user count a station carries while its
+// utilization stays at or below targetRho — the queueing-theoretic origin of
+// the paper's service capacities C_k.
+func StableCapacity(cfg QueueConfig, targetRho float64) int {
+	return netsim.StableCapacity(cfg, targetRho)
+}
+
+// LoadsOf extracts the per-UAV attachment counts of a deployment, in the
+// scenario's UAV order, ready to feed SimulateQueues.
+func LoadsOf(dep *Deployment) []int {
+	return append([]int(nil), dep.Assignment.PerStation...)
+}
+
+// Mobility facade (see internal/mobility): user-movement models for the
+// re-deployment loop of Section II-C.
+type (
+	// MobilityModel advances ground users by one time step.
+	MobilityModel = mobility.Model
+	// RandomWaypoint is the classic random-waypoint mobility model.
+	RandomWaypoint = mobility.RandomWaypoint
+	// LevyFlight is a truncated Lévy flight with heavy-tailed jumps.
+	LevyFlight = mobility.LevyFlight
+)
+
+// NewRandomWaypoint creates a random-waypoint model for n users with speeds
+// uniform in [minSpeed, maxSpeed] m/s.
+func NewRandomWaypoint(grid Grid, n int, minSpeed, maxSpeed float64, seed int64) (*RandomWaypoint, error) {
+	return mobility.NewRandomWaypoint(grid, n, minSpeed, maxSpeed, seed)
+}
+
+// NewLevyFlight creates a truncated Lévy flight model.
+func NewLevyFlight(grid Grid, alpha, minJump, maxJump, moveProb float64, seed int64) (*LevyFlight, error) {
+	return mobility.NewLevyFlight(grid, alpha, minJump, maxJump, moveProb, seed)
+}
+
+// MeanDisplacement returns the mean distance between two position
+// snapshots, a cheap drift signal for re-deployment triggers.
+func MeanDisplacement(a, b []Point) (float64, error) {
+	return mobility.Displacement(a, b)
+}
