@@ -40,6 +40,7 @@ func run() error {
 		literal      = flag.Bool("literal", false, "run approAlg exactly as the paper's pseudocode (ground leftover UAVs)")
 		refine       = flag.Bool("refine", false, "refine the assignment to minimize total pathloss")
 		gatewayAt    = flag.String("gateway", "", "gateway position as \"x,y\" meters; builds a relay chain to it")
+		verifyDep    = flag.Bool("verify", false, "run the feasibility oracle on every deployment; exit non-zero on violations")
 	)
 	flag.Parse()
 
@@ -108,6 +109,13 @@ func run() error {
 		}
 		elapsed := time.Since(start)
 		report(in, dep, elapsed, *showMap)
+		if *verifyDep {
+			rep := uavnet.Verify(in, dep)
+			if !rep.OK() {
+				return fmt.Errorf("%s: verification failed: %s", name, rep)
+			}
+			fmt.Printf("verification:   ok (capacity, min-rate, connectivity, matroids, bookkeeping)\n\n")
+		}
 	}
 	return nil
 }

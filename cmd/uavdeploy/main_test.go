@@ -45,6 +45,32 @@ func TestAsciiMap(t *testing.T) {
 	}
 }
 
+func TestVerifyCleanDeployment(t *testing.T) {
+	sc, err := uavnet.GenerateScenario(uavnet.ScenarioSpec{
+		AreaSide: 1500, CellSide: 500, N: 30, K: 2, CMin: 10, CMax: 20, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := uavnet.NewInstance(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := uavnet.DeployInstance(in, uavnet.Options{S: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The oracle behind -verify must certify the facade's own deployment.
+	if rep := uavnet.Verify(in, dep); !rep.OK() {
+		t.Errorf("Verify reported %s on a fresh deployment", rep)
+	}
+	// A hand-corrupted deployment must fail it.
+	dep.Served++
+	if rep := uavnet.Verify(in, dep); rep.OK() {
+		t.Error("Verify accepted a corrupted Served count")
+	}
+}
+
 func TestMaxHelper(t *testing.T) {
 	if max(2, 3) != 3 || max(3, 2) != 3 || max(-1, -2) != -1 {
 		t.Error("max helper broken")

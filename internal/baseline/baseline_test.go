@@ -104,6 +104,7 @@ func runAll(t *testing.T, in *core.Instance) map[string]*core.Deployment {
 }
 
 func TestAllBaselinesFeasibleOnRandomInstances(t *testing.T) {
+	t.Parallel()
 	for seed := int64(0); seed < 6; seed++ {
 		in := randomInstance(t, seed, 30+int(seed)*10, 3+int(seed%3))
 		runAll(t, in)
@@ -111,6 +112,7 @@ func TestAllBaselinesFeasibleOnRandomInstances(t *testing.T) {
 }
 
 func TestBaselinesServeObviousCluster(t *testing.T) {
+	t.Parallel()
 	// All users in one cell, ample capacity: every baseline should serve all.
 	sc := testScenario(nil, []int{10, 10})
 	for i := 0; i < 6; i++ {
@@ -128,6 +130,7 @@ func TestBaselinesServeObviousCluster(t *testing.T) {
 }
 
 func TestBaselinesAreCapacityOblivious(t *testing.T) {
+	t.Parallel()
 	// A dense cell of 20 users and a fleet whose FIRST UAV is tiny: the
 	// homogeneous baselines map UAVs in fleet order, so the tiny UAV lands
 	// on the dense cell and coverage suffers versus approAlg.
@@ -167,6 +170,7 @@ func TestBaselinesAreCapacityOblivious(t *testing.T) {
 }
 
 func TestMCSPicksDensestRegion(t *testing.T) {
+	t.Parallel()
 	sc := testScenario(nil, []int{5})
 	for i := 0; i < 5; i++ {
 		sc.Users = append(sc.Users, core.User{Pos: sc.Grid.Center(3, 3)})
@@ -189,6 +193,7 @@ func TestMCSPicksDensestRegion(t *testing.T) {
 }
 
 func TestMotionCtrlImprovesOverStart(t *testing.T) {
+	t.Parallel()
 	// Users live in a far corner; the initial compact formation must migrate
 	// toward them.
 	sc := testScenario(nil, []int{4, 4})
@@ -209,6 +214,7 @@ func TestMotionCtrlImprovesOverStart(t *testing.T) {
 }
 
 func TestGreedyAssignProfitSeeding(t *testing.T) {
+	t.Parallel()
 	sc := testScenario(nil, []int{3, 3})
 	for i := 0; i < 4; i++ {
 		sc.Users = append(sc.Users, core.User{Pos: sc.Grid.Center(2, 2)})
@@ -228,6 +234,7 @@ func TestGreedyAssignProfitSeeding(t *testing.T) {
 }
 
 func TestMaxThroughputPrefersCloseUsers(t *testing.T) {
+	t.Parallel()
 	// Users at cell (0,0); throughput greedy should anchor on that cell
 	// since nearby users have the highest rates.
 	sc := testScenario(nil, []int{2})
@@ -251,12 +258,14 @@ func TestMaxThroughputPrefersCloseUsers(t *testing.T) {
 }
 
 func TestByNameUnknown(t *testing.T) {
+	t.Parallel()
 	if _, err := ByName("nope"); err == nil {
 		t.Error("unknown name should fail")
 	}
 }
 
 func TestNamesStable(t *testing.T) {
+	t.Parallel()
 	want := []string{"MCS", "MotionCtrl", "GreedyAssign", "maxThroughput"}
 	got := Names()
 	if len(got) != len(want) {
@@ -270,6 +279,7 @@ func TestNamesStable(t *testing.T) {
 }
 
 func TestBaselinesDeterministic(t *testing.T) {
+	t.Parallel()
 	in := randomInstance(t, 99, 40, 4)
 	first := runAll(t, in)
 	second := runAll(t, in)

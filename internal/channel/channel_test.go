@@ -3,6 +3,7 @@ package channel
 import (
 	"math"
 	"testing"
+	"testing/quick"
 )
 
 func defaultTx() Transmitter { return Transmitter{PowerDBm: 30, AntennaGainDBi: 3} }
@@ -205,5 +206,28 @@ func TestSNRLinear(t *testing.T) {
 		if got := SNRLinear(tc.db); math.Abs(got-tc.want) > 1e-9 {
 			t.Errorf("SNRLinear(%g) = %g, want %g", tc.db, got, tc.want)
 		}
+	}
+}
+
+// TestUserRateMonotoneQuickProperty is the monotonicity law as a
+// testing/quick property (idiom shared with internal/geom): for any pair of
+// horizontal distances the farther user never gets a higher rate. The
+// feasibility oracle in internal/verify leans on this when it re-derives
+// minimum-rate compliance from the channel model.
+func TestUserRateMonotoneQuickProperty(t *testing.T) {
+	p := DefaultParams()
+	tx := defaultTx()
+	f := func(d1, d2, altRaw float64) bool {
+		// Bound quick's unbounded floats into the physical regime.
+		bound := func(v, lim float64) float64 { return math.Abs(math.Mod(v, lim)) }
+		a, b := bound(d1, 5000), bound(d2, 5000)
+		alt := 50 + bound(altRaw, 950) // altitude 50..1000 m
+		if a > b {
+			a, b = b, a
+		}
+		return p.UserRateBps(tx, b, alt) <= p.UserRateBps(tx, a, alt)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
 	}
 }

@@ -75,6 +75,11 @@ type Deployment struct {
 	Assignment assign.Assignment
 	// Anchors holds the winning anchor subset V*_j (approAlg only).
 	Anchors []int
+	// Selected holds the locations chosen by the greedy phase under the
+	// matroid constraints M1 /\ M2, in selection order (approAlg only).
+	// Deployed locations beyond Selected are relays and leftover extensions.
+	// Verifiers use it to re-check the hop-count budgets Q_h of Eq. (1).
+	Selected []int
 	// Budget is the Algorithm 1 budget used (approAlg only).
 	Budget Budget
 	// SubsetsEvaluated and SubsetsPruned count the anchor subsets examined
@@ -111,6 +116,7 @@ type subsetResult struct {
 	idx    int64 // enumeration index of the subset
 	served int
 	locs   []int // location per sorted-capacity UAV slot (slot i -> locs[i])
+	nsel   int   // prefix of locs chosen by the M1 /\ M2 greedy phase
 }
 
 // better reports whether a beats b under the deterministic order
@@ -372,7 +378,7 @@ func evaluateSubset(in *Instance, idx int64, anchors []int, budget Budget, q []i
 			return res, false, false, err
 		}
 	}
-	return subsetResult{idx: idx, served: oracle.ev.Served(), locs: slotLoc}, true, false, nil
+	return subsetResult{idx: idx, served: oracle.ev.Served(), locs: slotLoc, nsel: len(selected)}, true, false, nil
 }
 
 // extendWithLeftovers deploys the UAVs left over after the q_j network
@@ -477,7 +483,10 @@ func connectLocations(g *graph.Undirected, selected []int) ([]int, error) {
 func finalizeDeployment(in *Instance, best subsetResult) (*Deployment, error) {
 	sc := in.Scenario
 	k := sc.K()
-	dep := &Deployment{LocationOf: make([]int, k)}
+	dep := &Deployment{
+		LocationOf: make([]int, k),
+		Selected:   append([]int(nil), best.locs[:best.nsel]...),
+	}
 	for i := range dep.LocationOf {
 		dep.LocationOf[i] = -1
 	}

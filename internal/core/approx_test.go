@@ -100,6 +100,7 @@ func cellCenter(sc *Scenario, col, row int) geom.Point2 {
 }
 
 func TestApproxTwoClusters(t *testing.T) {
+	t.Parallel()
 	// Users concentrated in two opposite corner cells; three UAVs must form
 	// a connected chain. With capacities 10,10,1 the two big UAVs should sit
 	// on the clusters.
@@ -125,6 +126,7 @@ func TestApproxTwoClusters(t *testing.T) {
 }
 
 func TestApproxCapacityAwarePlacement(t *testing.T) {
+	t.Parallel()
 	// One dense cell (20 users), one sparse cell (2 users). The high-capacity
 	// UAV must take the dense cell.
 	sc := testScenario(nil, []int{20, 2})
@@ -152,6 +154,7 @@ func TestApproxCapacityAwarePlacement(t *testing.T) {
 }
 
 func TestApproxDeterministicAcrossWorkers(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(8))
 	var users []geom.Point2
 	for i := 0; i < 60; i++ {
@@ -186,6 +189,7 @@ func TestApproxDeterministicAcrossWorkers(t *testing.T) {
 }
 
 func TestApproxPruningIsExact(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(21))
 	var users []geom.Point2
 	for i := 0; i < 40; i++ {
@@ -220,6 +224,7 @@ func TestApproxPruningIsExact(t *testing.T) {
 }
 
 func TestApproxClampsS(t *testing.T) {
+	t.Parallel()
 	// K = 2 but s = 3 (the paper's Fig. 4 sweeps K from 2 with s = 3): s is
 	// clamped to K and the run succeeds.
 	sc := testScenario(nil, []int{3, 3})
@@ -247,6 +252,7 @@ func TestApproxClampsS(t *testing.T) {
 }
 
 func TestApproxInfeasibleDisconnectedGrid(t *testing.T) {
+	t.Parallel()
 	// UAV range shorter than cell spacing: no two locations can link, so
 	// every anchor pair (s = 2) is disconnected and no solution exists.
 	sc := testScenario([]geom.Point2{{X: 100, Y: 100}}, []int{5, 5})
@@ -261,6 +267,7 @@ func TestApproxInfeasibleDisconnectedGrid(t *testing.T) {
 }
 
 func TestApproxSingleUAV(t *testing.T) {
+	t.Parallel()
 	sc := testScenario(nil, []int{2})
 	for i := 0; i < 5; i++ {
 		sc.Users = append(sc.Users, User{Pos: cellCenter(sc, 0, 0)})
@@ -280,6 +287,7 @@ func TestApproxSingleUAV(t *testing.T) {
 }
 
 func TestApproxMaxSubsetsSampling(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(5))
 	var users []geom.Point2
 	for i := 0; i < 30; i++ {
@@ -308,6 +316,7 @@ func TestApproxMaxSubsetsSampling(t *testing.T) {
 }
 
 func TestApproxGreedyUsesAnchors(t *testing.T) {
+	t.Parallel()
 	// The winning anchors must be among the deployed locations.
 	sc := testScenario(nil, []int{4, 4, 4})
 	for i := 0; i < 6; i++ {
@@ -338,6 +347,7 @@ func TestApproxGreedyUsesAnchors(t *testing.T) {
 // with anchors spaced p_i+1 apart, any M2-independent selection connects
 // with at most g(L, p) nodes.
 func TestConnectorWithinGUpper(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(13))
 	for trial := 0; trial < 100; trial++ {
 		s := 1 + r.Intn(3)
@@ -405,6 +415,7 @@ func contains(xs []int, v int) bool {
 }
 
 func TestApproxRequiredCells(t *testing.T) {
+	t.Parallel()
 	sc := testScenario(nil, []int{4, 4, 4})
 	for i := 0; i < 6; i++ {
 		sc.Users = append(sc.Users, User{Pos: cellCenter(sc, 3, 3)})

@@ -1,0 +1,88 @@
+package eval
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestGoldenPaperFullRow regenerates the K=2 row of results/paper_full.csv
+// from scratch — paper-scale Section IV-A parameters, seed 1, every
+// algorithm — and compares the served-user counts against the checked-in
+// results. This pins the published numbers to the code: any change to the
+// workload generator, the channel model, or an algorithm that silently
+// shifts the paper reproduction fails here first. K=2 is the cheapest row
+// (approAlg enumerates C(m,2) anchor pairs in tens of milliseconds), so the
+// test runs even under -short.
+func TestGoldenPaperFullRow(t *testing.T) {
+	t.Parallel()
+	const goldenK = 2
+	want := goldenServed(t, filepath.Join("..", "..", "results", "paper_full.csv"), goldenK)
+
+	series, err := Fig4(Config{Seeds: []int64{1}}, []int{goldenK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Points) != 1 {
+		t.Fatalf("Fig4 returned %d points, want 1", len(series.Points))
+	}
+	got := series.Points[0].Served
+	for alg, served := range want {
+		g, ok := got[alg]
+		if !ok {
+			t.Errorf("algorithm %s missing from Fig4 output", alg)
+			continue
+		}
+		if g != served {
+			t.Errorf("%s served %g users at K=%d, golden file says %g", alg, g, goldenK, served)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("Fig4 ran %d algorithms, golden row has %d", len(got), len(want))
+	}
+}
+
+// goldenServed parses one K-row of the paper_full.csv Fig. 4 block into
+// algorithm -> served users, from the *_served header columns.
+func goldenServed(t *testing.T, path string, k int) map[string]float64 {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("golden file %s has no data rows", path)
+	}
+	header := strings.Split(lines[0], ",")
+	if header[0] != "K" {
+		t.Fatalf("golden file %s: first block is not the Fig. 4 K-sweep (header %q)", path, lines[0])
+	}
+	for _, line := range lines[1:] {
+		fields := strings.Split(line, ",")
+		if len(fields) != len(header) {
+			break // next block or malformed tail
+		}
+		rowK, err := strconv.Atoi(fields[0])
+		if err != nil || rowK != k {
+			continue
+		}
+		want := make(map[string]float64)
+		for i, col := range header {
+			alg, ok := strings.CutSuffix(col, "_served")
+			if !ok {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				t.Fatalf("golden file %s: bad %s value %q: %v", path, col, fields[i], err)
+			}
+			want[alg] = v
+		}
+		return want
+	}
+	t.Fatalf("golden file %s has no K=%d row", path, k)
+	return nil
+}

@@ -3,6 +3,7 @@ package matroid
 import (
 	"math/rand"
 	"testing"
+	"testing/quick"
 )
 
 // --- matroid-axiom oracle ---------------------------------------------------
@@ -397,4 +398,101 @@ func coverageOf(covers [][]int, set []int) int {
 		}
 	}
 	return len(seen)
+}
+
+// --- testing/quick properties (idiom shared with internal/geom) -------------
+
+// maskToSet expands a subset bitmask over the ground set 0..n-1.
+func maskToSet(mask, n int) []int {
+	var s []int
+	for i := 0; i < n; i++ {
+		if mask&(1<<i) != 0 {
+			s = append(s, i)
+		}
+	}
+	return s
+}
+
+// randQuickMatroid builds a random Partition or HopCount matroid over a
+// small ground set, returning the matroid and the ground-set size.
+func randQuickMatroid(r *rand.Rand) (Matroid, int) {
+	n := 3 + r.Intn(5)
+	if r.Intn(2) == 0 {
+		nparts := 1 + r.Intn(3)
+		part := make([]int, n)
+		for i := range part {
+			part[i] = r.Intn(nparts)
+		}
+		caps := make([]int, nparts)
+		for i := range caps {
+			caps[i] = r.Intn(3)
+		}
+		return Partition{Part: part, Cap: caps}, n
+	}
+	hmax := 1 + r.Intn(3)
+	m := HopCount{Dist: make([]int, n), Q: make([]int, hmax+1)}
+	for i := range m.Dist {
+		m.Dist[i] = r.Intn(hmax + 2)
+		if r.Intn(6) == 0 {
+			m.Dist[i] = Unreachable
+		}
+	}
+	m.Q[0] = 1 + r.Intn(n)
+	for h := 1; h <= hmax; h++ {
+		q := m.Q[h-1] - r.Intn(2)
+		if q < 0 {
+			q = 0
+		}
+		m.Q[h] = q
+	}
+	return m, n
+}
+
+// TestHereditaryQuickProperty is axiom (ii) as a quick property: every
+// subset of an independent set stays independent, for randomly shaped
+// partition and hop-count matroids.
+func TestHereditaryQuickProperty(t *testing.T) {
+	f := func(seed int64, maskRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, n := randQuickMatroid(r)
+		mask := int(maskRaw) % (1 << n)
+		if !m.Independent(maskToSet(mask, n)) {
+			return true // vacuous: property only constrains independent sets
+		}
+		for sub := mask; sub > 0; sub = (sub - 1) & mask {
+			if !m.Independent(maskToSet(sub, n)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExchangeQuickProperty is axiom (iii) as a quick property: when A and B
+// are independent with |A| < |B|, some element of B\A extends A.
+func TestExchangeQuickProperty(t *testing.T) {
+	f := func(seed int64, aRaw, bRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, n := randQuickMatroid(r)
+		a, b := int(aRaw)%(1<<n), int(bRaw)%(1<<n)
+		if !m.Independent(maskToSet(a, n)) || !m.Independent(maskToSet(b, n)) {
+			return true
+		}
+		if popcount(a) >= popcount(b) {
+			return true
+		}
+		for i := 0; i < n; i++ {
+			bit := 1 << i
+			if b&bit != 0 && a&bit == 0 && m.Independent(maskToSet(a|bit, n)) {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
 }

@@ -1,0 +1,91 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/uav-coverage/uavnet/internal/core"
+)
+
+// diffSeeds is how many random scenarios the differential harness checks in
+// the normal (non-short) run; CI's -race job runs all of them in parallel.
+const diffSeeds = 60
+
+func TestDifferentialRandomScenarios(t *testing.T) {
+	t.Parallel()
+	seeds := int64(diffSeeds)
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			results, err := Differential(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Every scenario here is brute-forceable (m <= 8), so the
+			// optimum must be present and every report clean.
+			names := map[string]bool{}
+			for _, res := range results {
+				names[res.Algorithm] = true
+				if !res.Report.OK() {
+					t.Errorf("seed %d: %s: %s", seed, res.Algorithm, res.Report)
+				}
+			}
+			for _, want := range []string{"approAlg", "MCS", "MotionCtrl", "GreedyAssign", "maxThroughput", "bruteforce"} {
+				if !names[want] {
+					t.Errorf("seed %d: %s missing from results %v", seed, want, names)
+				}
+			}
+		})
+	}
+}
+
+func TestRandomScenarioDeterministic(t *testing.T) {
+	t.Parallel()
+	a, err := RandomScenario(rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomScenario(rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != b.N() || a.K() != b.K() || a.M() != b.M() {
+		t.Fatalf("same seed, different shapes: (%d,%d,%d) vs (%d,%d,%d)",
+			a.N(), a.K(), a.M(), b.N(), b.K(), b.M())
+	}
+	for i := range a.Users {
+		if a.Users[i] != b.Users[i] {
+			t.Fatalf("user %d differs: %v vs %v", i, a.Users[i], b.Users[i])
+		}
+	}
+	for i := range a.UAVs {
+		if a.UAVs[i] != b.UAVs[i] {
+			t.Fatalf("UAV %d differs: %v vs %v", i, a.UAVs[i], b.UAVs[i])
+		}
+	}
+}
+
+func TestRandomScenarioValidates(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 25; i++ {
+		sc, err := RandomScenario(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("scenario %d invalid: %v", i, err)
+		}
+		if sc.M() > bruteforceCells {
+			t.Fatalf("scenario %d has %d cells, expected <= %d for the differential harness",
+				i, sc.M(), bruteforceCells)
+		}
+		if _, err := core.NewInstance(sc); err != nil {
+			t.Fatalf("scenario %d: %v", i, err)
+		}
+	}
+}

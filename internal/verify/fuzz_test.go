@@ -1,0 +1,99 @@
+package verify
+
+import (
+	"testing"
+
+	"github.com/uav-coverage/uavnet/internal/baseline"
+	"github.com/uav-coverage/uavnet/internal/channel"
+	"github.com/uav-coverage/uavnet/internal/core"
+	"github.com/uav-coverage/uavnet/internal/geom"
+)
+
+// FuzzDeployment drives approAlg and one baseline over fuzzer-shaped tiny
+// scenarios and asserts the oracle finds no violation. Structural knobs are
+// decoded from the fuzz arguments with clamping, so every byte pattern maps
+// to some valid scenario; infeasible ones (e.g. a disconnected location
+// graph) must surface as typed errors, never as panics or dirty reports.
+//
+// Run locally with:
+//
+//	go test -fuzz=FuzzDeployment -fuzztime=30s ./internal/verify
+func FuzzDeployment(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(2), uint8(2), uint8(12), false)
+	f.Add(int64(9), uint8(4), uint8(4), uint8(3), uint8(30), true)
+	f.Add(int64(77), uint8(2), uint8(2), uint8(1), uint8(5), false)
+	f.Fuzz(func(t *testing.T, seed int64, cols, rows, k, n uint8, shortRange bool) {
+		sc := fuzzScenario(seed, cols, rows, k, n, shortRange)
+		in, err := core.NewInstance(sc)
+		if err != nil {
+			t.Fatalf("instance on a validated scenario: %v", err)
+		}
+		s := 2
+		if s > sc.K() {
+			s = sc.K()
+		}
+		dep, err := core.Approx(in, core.Options{S: s, Workers: 2})
+		if err != nil {
+			return // infeasible (e.g. disconnected grid): a typed error is fine
+		}
+		if rep := CheckDeployment(in, dep); !rep.OK() {
+			t.Fatalf("approAlg violates the oracle (seed=%d cols=%d rows=%d k=%d n=%d short=%v): %s",
+				seed, cols, rows, k, n, shortRange, rep)
+		}
+		mcs, err := baseline.MCS(in)
+		if err != nil {
+			return
+		}
+		if rep := CheckDeployment(in, mcs); !rep.OK() {
+			t.Fatalf("MCS violates the oracle (seed=%d cols=%d rows=%d k=%d n=%d short=%v): %s",
+				seed, cols, rows, k, n, shortRange, rep)
+		}
+	})
+}
+
+// fuzzScenario decodes clamped fuzz arguments into a small valid scenario.
+func fuzzScenario(seed int64, cols, rows, k, n uint8, shortRange bool) *core.Scenario {
+	clamp := func(v uint8, lo, hi int) int {
+		x := lo + int(v)%(hi-lo+1)
+		return x
+	}
+	grid := geom.Grid{
+		Length:   float64(clamp(cols, 2, 4)) * 500,
+		Width:    float64(clamp(rows, 2, 4)) * 500,
+		Side:     500,
+		Altitude: 300,
+	}
+	uavRange := 750.0
+	if shortRange {
+		uavRange = 550 // only orthogonally adjacent cells link
+	}
+	sc := &core.Scenario{Grid: grid, UAVRange: uavRange, Channel: channel.DefaultParams()}
+	// A seed-driven xorshift keeps the generator self-contained and
+	// deterministic per argument tuple.
+	state := uint64(seed)*2654435761 + 1
+	next := func() uint64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return state
+	}
+	users := clamp(n, 1, 40)
+	for i := 0; i < users; i++ {
+		sc.Users = append(sc.Users, core.User{
+			Pos: geom.Point2{
+				X: float64(next()%uint64(grid.Length*10)) / 10,
+				Y: float64(next()%uint64(grid.Width*10)) / 10,
+			},
+			MinRateBps: float64(next()%2) * 2000,
+		})
+	}
+	uavs := clamp(k, 1, 5)
+	for i := 0; i < uavs; i++ {
+		sc.UAVs = append(sc.UAVs, core.UAV{
+			Capacity:  1 + int(next()%6),
+			Tx:        channel.Transmitter{PowerDBm: 24 + float64(next()%2)*6, AntennaGainDBi: 3},
+			UserRange: 300 + float64(next()%3)*100,
+		})
+	}
+	return sc
+}

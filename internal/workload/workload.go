@@ -92,13 +92,22 @@ func Users(grid geom.Grid, n int, dist Distribution, seed int64) ([]geom.Point2,
 
 // UsersWithOptions is Users with explicit fat-tailed tuning.
 func UsersWithOptions(grid geom.Grid, n int, dist Distribution, seed int64, opts UserOptions) ([]geom.Point2, error) {
+	return UsersRand(rand.New(rand.NewSource(seed)), grid, n, dist, opts)
+}
+
+// UsersRand is UsersWithOptions with an injected random source: callers that
+// interleave several generators (e.g. the differential test harness) derive
+// every draw from one seed, so a failure reproduces from that seed alone.
+func UsersRand(r *rand.Rand, grid geom.Grid, n int, dist Distribution, opts UserOptions) ([]geom.Point2, error) {
+	if r == nil {
+		return nil, fmt.Errorf("workload: nil random source")
+	}
 	if err := grid.Validate(); err != nil {
 		return nil, fmt.Errorf("workload: %w", err)
 	}
 	if n < 0 {
 		return nil, fmt.Errorf("workload: negative user count %d", n)
 	}
-	r := rand.New(rand.NewSource(seed))
 	switch dist {
 	case Uniform:
 		return uniformUsers(r, grid, n), nil
@@ -189,13 +198,20 @@ func fatTailedUsers(r *rand.Rand, grid geom.Grid, n int, opts UserOptions) []geo
 // the paper's heterogeneous-fleet model (C_min = 50, C_max = 300 in
 // Section IV-A).
 func Capacities(k, cmin, cmax int, seed int64) ([]int, error) {
+	return CapacitiesRand(rand.New(rand.NewSource(seed)), k, cmin, cmax)
+}
+
+// CapacitiesRand is Capacities with an injected random source; see UsersRand.
+func CapacitiesRand(r *rand.Rand, k, cmin, cmax int) ([]int, error) {
+	if r == nil {
+		return nil, fmt.Errorf("workload: nil random source")
+	}
 	if k < 0 {
 		return nil, fmt.Errorf("workload: negative UAV count %d", k)
 	}
 	if cmin < 0 || cmax < cmin {
 		return nil, fmt.Errorf("workload: invalid capacity interval [%d, %d]", cmin, cmax)
 	}
-	r := rand.New(rand.NewSource(seed))
 	out := make([]int, k)
 	for i := range out {
 		out[i] = cmin + r.Intn(cmax-cmin+1)

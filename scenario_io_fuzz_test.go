@@ -1,0 +1,52 @@
+package uavnet
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzScenarioRoundTrip checks scenario_io.go against arbitrary bytes:
+// Unmarshal must never panic, and whenever it accepts an input, the
+// marshal/unmarshal round trip must be the identity on the decoded
+// scenario (so saved files stay stable across load/save cycles).
+//
+// Run locally with:
+//
+//	go test -fuzz=FuzzScenarioRoundTrip -fuzztime=30s .
+func FuzzScenarioRoundTrip(f *testing.F) {
+	valid, err := GenerateScenario(ScenarioSpec{N: 12, K: 3, Seed: 4,
+		AreaSide: 1000, CellSide: 500})
+	if err != nil {
+		f.Fatal(err)
+	}
+	data, err := MarshalScenario(valid)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"version":1,"scenario":{}}`))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		sc, err := UnmarshalScenario(in)
+		if err != nil {
+			return // rejected inputs only need to fail cleanly
+		}
+		// Accepted scenarios are valid by contract...
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("UnmarshalScenario accepted an invalid scenario: %v", err)
+		}
+		// ...and must survive a save/load cycle unchanged.
+		out, err := MarshalScenario(sc)
+		if err != nil {
+			t.Fatalf("re-marshal of an accepted scenario failed: %v", err)
+		}
+		back, err := UnmarshalScenario(out)
+		if err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if !reflect.DeepEqual(sc, back) {
+			t.Fatalf("round trip changed the scenario:\nfirst:  %+v\nsecond: %+v", sc, back)
+		}
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"github.com/uav-coverage/uavnet/internal/channel"
 	"github.com/uav-coverage/uavnet/internal/core"
 	"github.com/uav-coverage/uavnet/internal/geom"
+	"github.com/uav-coverage/uavnet/internal/verify"
 )
 
 // Core model types, re-exported from the implementation packages. See the
@@ -112,6 +113,29 @@ func EvaluatePlacement(in *Instance, locationOf []int) (*Deployment, error) {
 // the instance's UAV-to-UAV range.
 func Connected(in *Instance, dep *Deployment) bool {
 	return in.LocGraph.Connected(dep.DeployedLocations())
+}
+
+// Verification types, re-exported from internal/verify.
+type (
+	// VerifyReport lists every paper invariant a deployment violates; an
+	// empty report (OK() == true) certifies feasibility.
+	VerifyReport = verify.Report
+	// VerifyViolation is one broken invariant with its constraint name.
+	VerifyViolation = verify.Violation
+	// VerifyConstraint names one checked invariant (capacity, min-rate,
+	// connectivity, placement-M1, hop-budget-M2, node-budget, bookkeeping,
+	// shape).
+	VerifyConstraint = verify.Constraint
+)
+
+// Verify re-derives every constraint of the maximum connected coverage
+// problem for a deployment — per-UAV capacity C_k, per-user minimum rate
+// through the channel model, UAV-network connectivity within R_uav, the
+// matroid structure of Algorithm 2, and internal bookkeeping — and returns
+// the violations found. Use it as a feasibility oracle after any algorithm,
+// refinement, or hand edit; an empty report certifies the deployment.
+func Verify(in *Instance, dep *Deployment) VerifyReport {
+	return verify.CheckDeployment(in, dep)
 }
 
 // Gateway is a ground anchor (emergency vehicle, satellite terminal) the
