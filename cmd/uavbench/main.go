@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"github.com/uav-coverage/uavnet/internal/eval"
@@ -41,8 +43,36 @@ func run() error {
 		quiet      = flag.Bool("q", false, "suppress per-run progress")
 		literal    = flag.Bool("literal", false, "run approAlg exactly as the paper's pseudocode (ground leftover UAVs)")
 		chart      = flag.Bool("chart", false, "also render each figure as an ASCII line chart")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with 'go tool pprof')")
+		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "uavbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush transient garbage so the profile shows live retention
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "uavbench: memprofile:", err)
+			}
+		}()
+	}
 
 	base, ks, ns, ss := figureSettings(*scale, *smax)
 	cfg := eval.Config{

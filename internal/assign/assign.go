@@ -86,7 +86,11 @@ func Solve(p Problem) (Assignment, error) {
 	type link struct {
 		user, station, handle int
 	}
-	var links []link
+	nLinks := 0
+	for j := 0; j < k; j++ {
+		nLinks += len(p.Eligible[j])
+	}
+	links := make([]link, 0, nLinks)
 	for j := 0; j < k; j++ {
 		for _, u := range p.Eligible[j] {
 			h, err := nw.AddEdge(userNode(u), stationNode(j), 1)

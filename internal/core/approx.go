@@ -2,14 +2,12 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 	"runtime"
 	"sort"
-	"sync"
+	"sync/atomic"
 
 	"github.com/uav-coverage/uavnet/internal/assign"
 	"github.com/uav-coverage/uavnet/internal/graph"
-	"github.com/uav-coverage/uavnet/internal/matroid"
 )
 
 // Options configure the approximation algorithm (Algorithm 2).
@@ -27,7 +25,9 @@ type Options struct {
 	// exhaustive enumeration (the paper's algorithm). When the cap is lower
 	// than C(m, s), a deterministic pseudo-random sample of subsets (seeded
 	// by Seed) is evaluated instead; the approximation guarantee is then
-	// probabilistic rather than worst-case.
+	// probabilistic rather than worst-case. Samples are drawn independently
+	// per index — i.e. with replacement across the MaxSubsets draws — see
+	// subsetSource for why and why that is harmless.
 	MaxSubsets int
 	// Workers is the number of goroutines evaluating subsets concurrently.
 	// Zero selects runtime.GOMAXPROCS(0). The result is deterministic
@@ -160,93 +160,92 @@ func Approx(in *Instance, opts Options) (*Deployment, error) {
 		caps[r] = sc.UAVs[uav].Capacity
 	}
 
-	gen, total := newSubsetSource(m, s, opts)
+	total, sampled := subsetSpace(m, s, opts)
 
-	// Workers pull subset batches from a channel and fold local bests.
-	type job struct {
-		idx    int64
-		subset []int
-	}
+	// Workers claim fixed-size chunks of the enumeration index space from a
+	// shared cursor and fold local bests. Each worker owns a subset source
+	// (stepping incrementally inside a chunk), a placement oracle, and a
+	// scratch arena, so the steady-state evaluation loop allocates nothing.
+	// The reduction — most served users, then smallest enumeration index —
+	// is associative and order-independent, so the chosen deployment never
+	// depends on the worker count or on how chunks interleave.
 	type workerOut struct {
-		best subsetResult
-		err  error
+		best              subsetResult
+		pruned, evaluated int64
+		err               error
 	}
-	jobs := make(chan job, 4*opts.Workers)
 	results := make(chan workerOut, opts.Workers)
-	var pruned, evaluated int64
-	var statMu sync.Mutex
+	var cursor atomic.Int64
+	var abort atomic.Bool
+	const chunk = 16 // subsets per claim: small enough to balance load, large enough to amortize stepping
 
-	var wg sync.WaitGroup
 	for w := 0; w < opts.Workers; w++ {
-		wg.Add(1)
 		go func() {
-			defer wg.Done()
-			best := subsetResult{idx: -1, served: -1}
-			var workerErr error
-			var localPruned, localEval int64
+			out := workerOut{best: subsetResult{idx: -1, served: -1}}
+			defer func() { results <- out }()
 			// One oracle per worker, reset per subset, so the flow network's
 			// memory is reused across the whole enumeration.
 			oracle, err := newPlacementOracle(in, caps)
 			if err != nil {
-				workerErr = err
+				out.err = err
+				return
 			}
-			for jb := range jobs {
-				if workerErr != nil {
-					continue // drain remaining jobs after a failure
+			src := newSubsetSource(m, s, opts, sampled)
+			scr := newEvalScratch(in, q)
+			var bestLocs []int
+			for !abort.Load() {
+				lo := cursor.Add(chunk) - chunk
+				if lo >= total {
+					return
 				}
-				res, ok, wasPruned, err := evaluateSubset(in, jb.idx, jb.subset, budget, q, caps, opts, oracle)
-				if err != nil {
-					workerErr = err
-					continue
+				hi := lo + chunk
+				if hi > total {
+					hi = total
 				}
-				if wasPruned {
-					localPruned++
-					continue
-				}
-				localEval++
-				if ok && res.better(best) {
-					best = res
+				for idx := lo; idx < hi; idx++ {
+					anchors, err := src.at(idx)
+					if err != nil {
+						out.err = err
+						abort.Store(true)
+						return
+					}
+					res, ok, wasPruned, err := evaluateSubset(in, idx, anchors, budget, q, caps, opts, oracle, scr)
+					if err != nil {
+						out.err = err
+						abort.Store(true)
+						return
+					}
+					if wasPruned {
+						out.pruned++
+						continue
+					}
+					out.evaluated++
+					if ok && res.better(out.best) {
+						// res.locs aliases the scratch arena and is
+						// overwritten by the next evaluation; copy it into
+						// the worker-owned buffer before retaining.
+						bestLocs = append(bestLocs[:0], res.locs...)
+						res.locs = bestLocs
+						out.best = res
+					}
 				}
 			}
-			statMu.Lock()
-			pruned += localPruned
-			evaluated += localEval
-			statMu.Unlock()
-			results <- workerOut{best: best, err: workerErr}
 		}()
 	}
 
-	var feedErr error
-	go func() {
-		defer close(jobs)
-		var idx int64
-		for idx = 0; idx < total; idx++ {
-			subset, err := gen(idx)
-			if err != nil {
-				feedErr = err
-				return
-			}
-			jobs <- job{idx: idx, subset: subset}
-		}
-	}()
-
-	go func() {
-		wg.Wait()
-		close(results)
-	}()
-
 	best := subsetResult{idx: -1, served: -1}
+	var pruned, evaluated int64
 	var evalErr error
-	for out := range results {
+	for w := 0; w < opts.Workers; w++ {
+		out := <-results
 		if out.err != nil && evalErr == nil {
 			evalErr = out.err
 		}
+		pruned += out.pruned
+		evaluated += out.evaluated
 		if out.best.idx >= 0 && out.best.better(best) {
 			best = out.best
 		}
-	}
-	if feedErr != nil {
-		return nil, feedErr
 	}
 	if evalErr != nil {
 		return nil, evalErr
@@ -261,9 +260,8 @@ func Approx(in *Instance, opts Options) (*Deployment, error) {
 	}
 	dep.Algorithm = "approAlg"
 	dep.Budget = budget
-	subset, err := gen(best.idx)
-	if err == nil {
-		dep.Anchors = subset
+	if anchors, err := newSubsetSource(m, s, opts, sampled).at(best.idx); err == nil {
+		dep.Anchors = append([]int(nil), anchors...)
 	}
 	dep.SubsetsEvaluated = evaluated
 	dep.SubsetsPruned = pruned
@@ -272,8 +270,11 @@ func Approx(in *Instance, opts Options) (*Deployment, error) {
 
 // evaluateSubset runs the per-subset body of Algorithm 2 (lines 5-23):
 // greedy placement of up to L_max UAVs under M1 /\ M2, MST-based relay
-// connection, feasibility check q_j <= K, and full evaluation.
-func evaluateSubset(in *Instance, idx int64, anchors []int, budget Budget, q []int, caps []int, opts Options, oracle *placementOracle) (res subsetResult, ok, pruned bool, err error) {
+// connection, feasibility check q_j <= K, and full evaluation. All working
+// memory comes from scr, so the call allocates nothing in steady state; the
+// returned res.locs aliases the scratch arena and must be copied by callers
+// that retain it past the next evaluation.
+func evaluateSubset(in *Instance, idx int64, anchors []int, budget Budget, q []int, caps []int, opts Options, oracle *placementOracle, scr *evalScratch) (res subsetResult, ok, pruned bool, err error) {
 	sc := in.Scenario
 	k := sc.K()
 
@@ -316,23 +317,25 @@ func evaluateSubset(in *Instance, idx int64, anchors []int, budget Budget, q []i
 		return res, false, true, nil
 	}
 
-	// Hop distances from the anchor set define matroid M2.
-	dist := in.LocGraph.MultiSourceBFS(anchors)
-	m2 := matroid.HopCount{Dist: dist, Q: q}
+	// Hop distances from the anchor set define matroid M2. The scratch's M2
+	// view and feasibility closure alias scr.dist, which the BFS refills in
+	// place.
+	scr.queue = in.LocGraph.MultiSourceBFSInto(anchors, scr.dist, scr.queue)
 
 	// Ground set: locations reachable within hmax hops of the anchors.
-	ground := make([]int, 0, len(dist))
-	for loc, d := range dist {
-		if d != graph.Unreachable && d <= m2.HMax() {
+	hmax := scr.m2.HMax()
+	ground := scr.ground[:0]
+	for loc, d := range scr.dist {
+		if d != graph.Unreachable && d <= hmax {
 			ground = append(ground, loc)
 		}
 	}
+	scr.ground = ground
 
 	if err := oracle.reset(); err != nil {
 		return res, false, false, err
 	}
-	selected, err := matroid.LazyGreedy(ground, budget.LMax,
-		func(sel []int, e int) bool { return m2.CanAdd(sel, e) }, oracle)
+	selected, err := scr.runner.Run(ground, budget.LMax, scr.feasible, oracle)
 	if err != nil {
 		return res, false, false, err
 	}
@@ -340,8 +343,9 @@ func evaluateSubset(in *Instance, idx int64, anchors []int, budget Budget, q []i
 		return res, false, false, nil
 	}
 
-	// Connect V'_j: MST over the hop metric, then union of shortest paths.
-	nodes, err := connectLocations(in.LocGraph, selected)
+	// Connect V'_j: MST over the hop metric, then union of shortest paths
+	// read from the instance's precomputed path oracle.
+	nodes, err := scr.connectLocations(in, selected)
 	if err != nil {
 		return res, false, false, err
 	}
@@ -349,24 +353,28 @@ func evaluateSubset(in *Instance, idx int64, anchors []int, budget Budget, q []i
 		return res, false, false, nil // q_j > K: infeasible subset (line 16)
 	}
 
-	// Deploy remaining UAVs (by decreasing capacity) on relay nodes.
-	slotLoc := append([]int(nil), selected...)
-	inSelected := make(map[int]bool, len(selected))
-	for _, l := range selected {
-		inSelected[l] = true
+	// Deploy remaining UAVs (by decreasing capacity) on relay nodes. nodes
+	// is sorted, so the filtered relay list arrives sorted too.
+	slotLoc := append(scr.slotLoc[:0], selected...)
+	for _, v := range selected {
+		scr.selMark[v] = true
 	}
-	relays := make([]int, 0, len(nodes)-len(selected))
+	relays := scr.relays[:0]
 	for _, v := range nodes {
-		if !inSelected[v] {
+		if !scr.selMark[v] {
 			relays = append(relays, v)
 		}
 	}
-	sort.Ints(relays)
+	for _, v := range selected {
+		scr.selMark[v] = false
+	}
+	scr.relays = relays
 	slotLoc = append(slotLoc, relays...)
 
 	if !opts.GroundLeftovers {
-		slotLoc = extendWithLeftovers(in, slotLoc, caps)
+		slotLoc = scr.extendWithLeftovers(in, slotLoc, caps)
 	}
+	scr.slotLoc = slotLoc
 
 	// Score the full placement by continuing the greedy's committed flow:
 	// the first len(selected) slots are already committed, so only the
@@ -379,72 +387,6 @@ func evaluateSubset(in *Instance, idx int64, anchors []int, budget Budget, q []i
 		}
 	}
 	return subsetResult{idx: idx, served: oracle.ev.Served(), locs: slotLoc, nsel: len(selected)}, true, false, nil
-}
-
-// extendWithLeftovers deploys the UAVs left over after the q_j network
-// members, one by one in decreasing-capacity order: each goes to the free
-// cell adjacent to the current network that covers the most users not yet
-// claimed by an earlier slot (claims are capacity-capped), keeping the
-// network connected by construction. UAVs with no positive-gain cell stay
-// grounded. The claim bookkeeping is a fast surrogate for the exact flow
-// oracle; the caller rescores the final placement exactly.
-func extendWithLeftovers(in *Instance, slotLoc []int, caps []int) []int {
-	k := in.Scenario.K()
-	if len(slotLoc) >= k {
-		return slotLoc
-	}
-	claimed := make([]bool, in.Scenario.N())
-	used := make(map[int]bool, len(slotLoc))
-	claim := func(slot, loc int) int {
-		uav := in.ByCapacity[slot]
-		budget := caps[slot]
-		got := 0
-		for _, u := range in.EligibleUsers(uav, loc) {
-			if got == budget {
-				break
-			}
-			if !claimed[u] {
-				claimed[u] = true
-				got++
-			}
-		}
-		return got
-	}
-	for slot, loc := range slotLoc {
-		used[loc] = true
-		claim(slot, loc)
-	}
-	for slot := len(slotLoc); slot < k; slot++ {
-		uav := in.ByCapacity[slot]
-		budget := caps[slot]
-		bestLoc, bestGain := -1, 0
-		for _, v := range slotLoc {
-			for _, nb := range in.LocGraph.Neighbors(v) {
-				if used[nb] {
-					continue
-				}
-				gain := 0
-				for _, u := range in.EligibleUsers(uav, nb) {
-					if gain == budget {
-						break
-					}
-					if !claimed[u] {
-						gain++
-					}
-				}
-				if gain > bestGain || (gain == bestGain && gain > 0 && nb < bestLoc) {
-					bestLoc, bestGain = nb, gain
-				}
-			}
-		}
-		if bestLoc == -1 {
-			break
-		}
-		slotLoc = append(slotLoc, bestLoc)
-		used[bestLoc] = true
-		claim(slot, bestLoc)
-	}
-	return slotLoc
 }
 
 // connectLocations returns the sorted node set of the connected subgraph G_j
@@ -570,72 +512,4 @@ func (o *placementOracle) Bound(loc int) int {
 		return o.caps[0]
 	}
 	return n
-}
-
-// newSubsetSource returns a deterministic generator of anchor subsets by
-// enumeration index, plus the number of indices. With no cap (or a cap at
-// least C(m, s)) index i unranks to the i-th s-combination of 0..m-1 in
-// colexicographic order; with a cap, indices map to a seeded random sample
-// without replacement being impractical for huge C(m, s), we draw with
-// replacement which is harmless (duplicate subsets evaluate identically).
-func newSubsetSource(m, s int, opts Options) (func(int64) ([]int, error), int64) {
-	total := binomial(m, s)
-	if opts.MaxSubsets > 0 && int64(opts.MaxSubsets) < total {
-		sampled := int64(opts.MaxSubsets)
-		return func(idx int64) ([]int, error) {
-			r := rand.New(rand.NewSource(opts.Seed + idx*2654435761))
-			return randomCombination(r, m, s), nil
-		}, sampled
-	}
-	return func(idx int64) ([]int, error) {
-		return unrankCombination(idx, m, s)
-	}, total
-}
-
-// binomial returns C(m, s), saturating at MaxInt64 on overflow.
-func binomial(m, s int) int64 {
-	if s < 0 || s > m {
-		return 0
-	}
-	if s > m-s {
-		s = m - s
-	}
-	result := int64(1)
-	for i := 1; i <= s; i++ {
-		// result *= (m - s + i) / i, guarding overflow.
-		next := result * int64(m-s+i)
-		if next/int64(m-s+i) != result {
-			return int64(^uint64(0) >> 1)
-		}
-		result = next / int64(i)
-	}
-	return result
-}
-
-// unrankCombination returns the idx-th s-combination of {0..m-1} in
-// colexicographic order: the combination whose elements c_1 < ... < c_s
-// satisfy idx = sum C(c_i, i).
-func unrankCombination(idx int64, m, s int) ([]int, error) {
-	if idx < 0 || idx >= binomial(m, s) {
-		return nil, fmt.Errorf("core: combination index %d out of range for C(%d,%d)", idx, m, s)
-	}
-	out := make([]int, s)
-	for i := s; i >= 1; i-- {
-		// Largest c with C(c, i) <= idx.
-		c := i - 1
-		for binomial(c+1, i) <= idx {
-			c++
-		}
-		out[i-1] = c
-		idx -= binomial(c, i)
-	}
-	return out, nil
-}
-
-// randomCombination draws a uniform s-subset of {0..m-1} via partial
-// Fisher-Yates and returns it sorted.
-func randomCombination(r *rand.Rand, m, s int) []int {
-	perm := r.Perm(m)[:s]
-	sort.Ints(perm)
-	return perm
 }

@@ -119,6 +119,11 @@ type Instance struct {
 	// Hop[a][b] is the hop distance between locations a and b in LocGraph,
 	// or graph.Unreachable.
 	Hop [][]int
+	// Paths is the precomputed shortest-path oracle over LocGraph: one BFS
+	// predecessor array per source, so the relay-connection step reads MST
+	// edge expansions back instead of re-running a BFS per edge per subset.
+	// Its paths are node-for-node identical to LocGraph.ShortestPath's.
+	Paths *graph.PathOracle
 	// ByCapacity holds UAV indices sorted by decreasing capacity (ties by
 	// index), the order in which Algorithm 2 deploys them.
 	ByCapacity []int
@@ -151,9 +156,13 @@ func NewInstance(sc *Scenario) (*Instance, error) {
 			}
 		}
 	}
+	// The path oracle's construction BFS doubles as the hop-matrix BFS:
+	// each Hop row is read back from the oracle's distance matrix instead
+	// of running a second all-sources sweep.
+	in.Paths = graph.NewPathOracle(in.LocGraph)
 	in.Hop = make([][]int, m)
 	for a := 0; a < m; a++ {
-		in.Hop[a] = in.LocGraph.BFS(a)
+		in.Hop[a] = in.Paths.DistRow(a)
 	}
 
 	// Capacity-sorted order (decreasing; stable on index for determinism).

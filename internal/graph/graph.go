@@ -94,10 +94,22 @@ func (g *Undirected) BFS(src int) []int {
 // every source get Unreachable (-1).
 func (g *Undirected) MultiSourceBFS(sources []int) []int {
 	dist := make([]int, len(g.adj))
+	g.MultiSourceBFSInto(sources, dist, nil)
+	return dist
+}
+
+// MultiSourceBFSInto is MultiSourceBFS with caller-provided scratch: dist
+// must have length N() and is overwritten in place; queue is the frontier
+// buffer, grown as needed and returned so the caller can reuse its capacity.
+// With a queue of capacity N() the call performs no allocation.
+func (g *Undirected) MultiSourceBFSInto(sources, dist, queue []int) []int {
+	if len(dist) != len(g.adj) {
+		panic(fmt.Sprintf("graph: BFS dist buffer has length %d, need %d", len(dist), len(g.adj)))
+	}
 	for i := range dist {
 		dist[i] = Unreachable
 	}
-	queue := make([]int, 0, len(sources))
+	queue = queue[:0]
 	for _, s := range sources {
 		if s < 0 || s >= len(g.adj) {
 			panic(fmt.Sprintf("graph: BFS source %d out of range [0,%d)", s, len(g.adj)))
@@ -116,22 +128,33 @@ func (g *Undirected) MultiSourceBFS(sources []int) []int {
 			}
 		}
 	}
-	return dist
+	return queue
 }
 
 // ShortestPath returns one shortest (fewest-hops) path from src to dst,
 // inclusive of both endpoints, or nil if dst is unreachable. A path from a
 // node to itself is the single-node path.
 func (g *Undirected) ShortestPath(src, dst int) []int {
+	return g.ShortestPathInto(src, dst, make([]int, len(g.adj)), nil, nil)
+}
+
+// ShortestPathInto is ShortestPath with caller-provided scratch: prev must
+// have length N() and is overwritten, queue is the BFS frontier buffer, and
+// the path is appended into path[:0]. It returns the path (aliasing path's
+// backing array when capacity suffices) or nil if dst is unreachable. The
+// node sequence is identical to ShortestPath's.
+func (g *Undirected) ShortestPathInto(src, dst int, prev, queue, path []int) []int {
 	if src == dst {
-		return []int{src}
+		return append(path[:0], src)
 	}
-	prev := make([]int, len(g.adj))
+	if len(prev) != len(g.adj) {
+		panic(fmt.Sprintf("graph: path prev buffer has length %d, need %d", len(prev), len(g.adj)))
+	}
 	for i := range prev {
 		prev[i] = -2 // unvisited
 	}
 	prev[src] = -1
-	queue := []int{src}
+	queue = append(queue[:0], src)
 	for head := 0; head < len(queue); head++ {
 		u := queue[head]
 		for _, v := range g.adj[u] {
@@ -140,7 +163,7 @@ func (g *Undirected) ShortestPath(src, dst int) []int {
 			}
 			prev[v] = u
 			if v == dst {
-				return buildPath(prev, dst)
+				return appendPath(prev, dst, path)
 			}
 			queue = append(queue, v)
 		}
@@ -148,8 +171,8 @@ func (g *Undirected) ShortestPath(src, dst int) []int {
 	return nil
 }
 
-func buildPath(prev []int, dst int) []int {
-	var rev []int
+func appendPath(prev []int, dst int, path []int) []int {
+	rev := path[:0]
 	for v := dst; v != -1; v = prev[v] {
 		rev = append(rev, v)
 	}

@@ -21,6 +21,23 @@ func NewUnionFind(n int) *UnionFind {
 	return uf
 }
 
+// Reset re-initializes the structure to n singleton sets, growing the
+// backing arrays when needed but never shrinking them, so steady-state reuse
+// across many MST runs is allocation-free.
+func (uf *UnionFind) Reset(n int) {
+	if cap(uf.parent) < n {
+		uf.parent = make([]int, n)
+		uf.rank = make([]int, n)
+	}
+	uf.parent = uf.parent[:n]
+	uf.rank = uf.rank[:n]
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.rank[i] = 0
+	}
+	uf.sets = n
+}
+
 // Find returns the representative of x's set.
 func (uf *UnionFind) Find(x int) int {
 	for uf.parent[x] != x {

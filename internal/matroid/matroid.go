@@ -8,7 +8,6 @@
 package matroid
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -130,6 +129,14 @@ func (m HopCount) Independent(set []int) bool {
 
 // CanAdd implements Matroid.
 func (m HopCount) CanAdd(set []int, e int) bool {
+	return m.CanAddInto(set, e, make([]int, len(m.Q)))
+}
+
+// CanAddInto is CanAdd with a caller-provided counting buffer of length at
+// least len(m.Q); reusing the buffer across the many feasibility probes of a
+// greedy run removes the per-probe allocation. The verdict is identical to
+// CanAdd's.
+func (m HopCount) CanAddInto(set []int, e int, counts []int) bool {
 	if e < 0 || e >= len(m.Dist) {
 		return false
 	}
@@ -137,7 +144,10 @@ func (m HopCount) CanAdd(set []int, e int) bool {
 	if d == Unreachable || d > m.HMax() {
 		return false
 	}
-	counts := make([]int, d+1)
+	counts = counts[:d+1]
+	for i := range counts {
+		counts[i] = 0
+	}
 	for _, x := range set {
 		dx := m.Dist[x]
 		if dx > d {
@@ -208,23 +218,65 @@ type pqItem struct {
 	round int // round at which bound was computed; -1 = never
 }
 
+// pq is a max-heap of pqItems ordered by (bound desc, elem asc). The heap
+// operations are hand-rolled rather than going through container/heap so
+// that pushes and pops move values directly, without boxing each pqItem into
+// an interface (one heap allocation per operation otherwise).
 type pq []pqItem
 
-func (q pq) Len() int { return len(q) }
-func (q pq) Less(i, j int) bool {
+func (q pq) less(i, j int) bool {
 	if q[i].bound != q[j].bound {
 		return q[i].bound > q[j].bound
 	}
 	return q[i].elem < q[j].elem // deterministic tie-break
 }
-func (q pq) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x any)   { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() any {
+
+func (q pq) init() {
+	for i := len(q)/2 - 1; i >= 0; i-- {
+		q.down(i)
+	}
+}
+
+func (q *pq) push(it pqItem) {
+	*q = append(*q, it)
+	i := len(*q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*q).less(i, parent) {
+			break
+		}
+		(*q)[i], (*q)[parent] = (*q)[parent], (*q)[i]
+		i = parent
+	}
+}
+
+func (q *pq) pop() pqItem {
 	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*q = old[:n]
+	(*q).down(0)
+	return top
+}
+
+func (q pq) down(i int) {
+	n := len(q)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q[i], q[smallest] = q[smallest], q[i]
+		i = smallest
+	}
 }
 
 // LazyGreedy selects up to rounds elements from the ground set, each round
@@ -239,28 +291,64 @@ func (q *pq) Pop() any {
 // Lazy evaluation is exact for monotone submodular objectives: a gain bound
 // computed at an earlier round upper-bounds the true current gain, so when a
 // freshly evaluated element still tops the queue it is the true argmax.
+//
+// Callers that run many selections over the same universe should keep a
+// LazyRunner instead: this convenience wrapper pays the working-memory
+// allocations on every call.
 func LazyGreedy(ground []int, rounds int, feasible func(selected []int, e int) bool, o Oracle) ([]int, error) {
+	var lr LazyRunner
+	sel, err := lr.Run(ground, rounds, feasible, o)
+	if err != nil {
+		return nil, err
+	}
+	if sel == nil {
+		return nil, nil
+	}
+	return append([]int(nil), sel...), nil
+}
+
+// LazyRunner runs the LazyGreedy selection rule with all working memory —
+// the lazy priority queue, the selected list, and the membership mask —
+// reused across calls, on the same pattern as assign.Evaluator: construct
+// once per worker, Run once per subset. The zero value is ready to use.
+type LazyRunner struct {
+	q        pq
+	selected []int
+	mark     []bool // mark[e]: e is in the current selection
+}
+
+// Run performs one lazy-greedy selection, identical in outcome to
+// LazyGreedy. The returned slice is owned by the runner and only valid until
+// the next Run call; callers that retain it must copy.
+func (lr *LazyRunner) Run(ground []int, rounds int, feasible func(selected []int, e int) bool, o Oracle) ([]int, error) {
 	if rounds < 0 {
 		return nil, fmt.Errorf("matroid: negative round count %d", rounds)
 	}
-	q := make(pq, 0, len(ground))
+	q := lr.q[:0]
 	bounder, hasBounds := o.(Bounder)
+	maxElem := -1
 	for _, e := range ground {
 		bound := math.MaxInt32
 		if hasBounds {
 			bound = bounder.Bound(e)
 		}
 		q = append(q, pqItem{elem: e, bound: bound, round: -1})
+		if e > maxElem {
+			maxElem = e
+		}
 	}
-	heap.Init(&q)
+	q.init()
+	for len(lr.mark) <= maxElem {
+		lr.mark = append(lr.mark, false)
+	}
 
-	var selected []int
-	inSelected := make(map[int]bool, rounds)
+	selected := lr.selected[:0]
+	var runErr error
+rounds:
 	for round := 0; round < rounds; round++ {
-		var chosen *pqItem
-		for q.Len() > 0 {
-			it := heap.Pop(&q).(pqItem)
-			if inSelected[it.elem] {
+		for len(q) > 0 {
+			it := q.pop()
+			if lr.mark[it.elem] {
 				continue
 			}
 			if !feasible(selected, it.elem) {
@@ -270,25 +358,32 @@ func LazyGreedy(ground []int, rounds int, feasible func(selected []int, e int) b
 				continue
 			}
 			if it.round == round {
-				chosen = &it
-				break
+				if _, err := o.Commit(round, it.elem); err != nil {
+					runErr = fmt.Errorf("matroid: commit(%d, %d): %w", round, it.elem, err)
+					break rounds
+				}
+				selected = append(selected, it.elem)
+				lr.mark[it.elem] = true
+				continue rounds
 			}
 			g, err := o.Gain(round, it.elem)
 			if err != nil {
-				return nil, fmt.Errorf("matroid: gain(%d, %d): %w", round, it.elem, err)
+				runErr = fmt.Errorf("matroid: gain(%d, %d): %w", round, it.elem, err)
+				break rounds
 			}
 			it.bound = g
 			it.round = round
-			heap.Push(&q, it)
+			q.push(it)
 		}
-		if chosen == nil {
-			break // no feasible element remains
-		}
-		if _, err := o.Commit(round, chosen.elem); err != nil {
-			return nil, fmt.Errorf("matroid: commit(%d, %d): %w", round, chosen.elem, err)
-		}
-		selected = append(selected, chosen.elem)
-		inSelected[chosen.elem] = true
+		break // no feasible element remains
+	}
+	lr.q = q
+	lr.selected = selected
+	for _, e := range selected {
+		lr.mark[e] = false
+	}
+	if runErr != nil {
+		return nil, runErr
 	}
 	return selected, nil
 }

@@ -400,6 +400,68 @@ func coverageOf(covers [][]int, set []int) int {
 	return len(seen)
 }
 
+// TestLazyRunnerMatchesLazyGreedy reuses one runner across many random
+// instances and checks every selection against the allocating wrapper (and
+// transitively, via TestLazyGreedyMatchesNaiveProperty, against NaiveGreedy).
+func TestLazyRunnerMatchesLazyGreedy(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	var runner LazyRunner
+	for trial := 0; trial < 80; trial++ {
+		nElems := 2 + r.Intn(10)
+		nItems := 1 + r.Intn(15)
+		covers := make([][]int, nElems)
+		for e := range covers {
+			for it := 0; it < nItems; it++ {
+				if r.Intn(3) == 0 {
+					covers[e] = append(covers[e], it)
+				}
+			}
+		}
+		dist := make([]int, nElems)
+		for i := range dist {
+			dist[i] = r.Intn(3)
+		}
+		q := []int{2 + r.Intn(nElems), 1 + r.Intn(3), r.Intn(2)}
+		in := Intersection{HopCount{Dist: dist, Q: q}}
+		ground := make([]int, nElems)
+		for i := range ground {
+			ground[i] = i
+		}
+		rounds := 1 + r.Intn(nElems)
+		want, err := LazyGreedy(ground, rounds, in.CanAdd, newCoverOracle(covers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := runner.Run(ground, rounds, in.CanAdd, newCoverOracle(covers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: runner %v vs wrapper %v", trial, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: runner %v vs wrapper %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestLazyRunnerErrors(t *testing.T) {
+	var runner LazyRunner
+	if _, err := runner.Run(nil, -1, unconstrained, newCoverOracle(nil)); err == nil {
+		t.Error("negative rounds should fail")
+	}
+	// A failed run must not poison the next one.
+	sel, err := runner.Run([]int{0, 1}, 1, unconstrained, newCoverOracle([][]int{{1}, {2, 3}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 1 || sel[0] != 1 {
+		t.Errorf("selection after failed run = %v, want [1]", sel)
+	}
+}
+
 // --- testing/quick properties (idiom shared with internal/geom) -------------
 
 // maskToSet expands a subset bitmask over the ground set 0..n-1.
