@@ -5,11 +5,16 @@
 // with each user served by at most one UAV and each UAV serving at most its
 // capacity. The problem is solved exactly as an integral maximum flow.
 //
-// The package also provides an incremental evaluator used by the greedy
-// placement loop of Algorithm 2: it maintains a committed max-flow state and
-// answers "how many extra users would one more UAV serve?" queries by
-// augmenting on a clone, which keeps each query linear in the network size
-// instead of re-solving from scratch.
+// The package also provides an incremental evaluator that maintains a
+// committed max-flow state and answers "how many extra users would one more
+// UAV serve?" queries by augmenting on a clone, which keeps each query linear
+// in the network size instead of re-solving from scratch.
+//
+// The greedy placement loop of Algorithm 2 now runs on internal/match's
+// specialized bipartite matcher by default; Solve and Evaluator are the
+// flow-based reference implementation it is verified against
+// (core.Options.ReferenceOracle, FuzzAssignDifferential, and the
+// internal/verify oracle-equivalence test).
 package assign
 
 import (

@@ -6,6 +6,7 @@ import (
 )
 
 func TestSolveSimple(t *testing.T) {
+	t.Parallel()
 	// Two stations: station 0 (cap 1) can serve users 0,1; station 1 (cap 2)
 	// can serve users 1,2. All three users can be served.
 	p := Problem{
@@ -24,6 +25,7 @@ func TestSolveSimple(t *testing.T) {
 }
 
 func TestSolveCapacityBinds(t *testing.T) {
+	t.Parallel()
 	p := Problem{
 		NumUsers:   5,
 		Capacities: []int{2},
@@ -40,6 +42,7 @@ func TestSolveCapacityBinds(t *testing.T) {
 }
 
 func TestSolveUnreachableUsers(t *testing.T) {
+	t.Parallel()
 	p := Problem{
 		NumUsers:   4,
 		Capacities: []int{10},
@@ -58,6 +61,7 @@ func TestSolveUnreachableUsers(t *testing.T) {
 }
 
 func TestSolveEmpty(t *testing.T) {
+	t.Parallel()
 	a, err := Solve(Problem{})
 	if err != nil {
 		t.Fatal(err)
@@ -68,6 +72,7 @@ func TestSolveEmpty(t *testing.T) {
 }
 
 func TestSolveNoStations(t *testing.T) {
+	t.Parallel()
 	a, err := Solve(Problem{NumUsers: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -78,6 +83,7 @@ func TestSolveNoStations(t *testing.T) {
 }
 
 func TestValidateErrors(t *testing.T) {
+	t.Parallel()
 	tests := []struct {
 		name string
 		p    Problem
@@ -154,6 +160,7 @@ func bruteServed(p Problem, user int, remaining []int, eligibleSet []map[int]boo
 }
 
 func TestSolveOptimalAgainstBruteForceProperty(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(2023))
 	for trial := 0; trial < 120; trial++ {
 		n := 1 + r.Intn(7)
@@ -184,6 +191,7 @@ func TestSolveOptimalAgainstBruteForceProperty(t *testing.T) {
 }
 
 func TestEvaluatorMatchesSolve(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(9))
 	for trial := 0; trial < 60; trial++ {
 		n := 1 + r.Intn(10)
@@ -236,6 +244,7 @@ func TestEvaluatorMatchesSolve(t *testing.T) {
 }
 
 func TestEvaluatorSlotExhaustion(t *testing.T) {
+	t.Parallel()
 	ev, err := NewEvaluator(2, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -252,6 +261,7 @@ func TestEvaluatorSlotExhaustion(t *testing.T) {
 }
 
 func TestEvaluatorBadEligible(t *testing.T) {
+	t.Parallel()
 	ev, err := NewEvaluator(2, 2)
 	if err != nil {
 		t.Fatal(err)
@@ -262,6 +272,7 @@ func TestEvaluatorBadEligible(t *testing.T) {
 }
 
 func TestNewEvaluatorErrors(t *testing.T) {
+	t.Parallel()
 	if _, err := NewEvaluator(-1, 2); err == nil {
 		t.Error("negative users should fail")
 	}

@@ -6,6 +6,7 @@ import (
 )
 
 func TestSolveMinCostPrefersCheapLinks(t *testing.T) {
+	t.Parallel()
 	// Two stations can each serve both users (capacity 1 each). Costs make
 	// the crossed assignment cheaper.
 	p := Problem{
@@ -35,6 +36,7 @@ func TestSolveMinCostPrefersCheapLinks(t *testing.T) {
 }
 
 func TestSolveMinCostNeverSacrificesCoverage(t *testing.T) {
+	t.Parallel()
 	// Serving user 1 via station 0 is expensive, but refusing it would
 	// reduce coverage: coverage must win over cost.
 	p := Problem{
@@ -61,6 +63,7 @@ func TestSolveMinCostNeverSacrificesCoverage(t *testing.T) {
 }
 
 func TestSolveMinCostErrors(t *testing.T) {
+	t.Parallel()
 	p := Problem{NumUsers: 1, Capacities: []int{1}, Eligible: [][]int{{0}}}
 	if _, _, err := SolveMinCost(p, nil); err == nil {
 		t.Error("nil cost should fail")
@@ -75,6 +78,7 @@ func TestSolveMinCostErrors(t *testing.T) {
 }
 
 func TestSolveMinCostMatchesSolveOnServedProperty(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(55))
 	for trial := 0; trial < 80; trial++ {
 		n := 1 + r.Intn(8)

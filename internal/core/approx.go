@@ -8,6 +8,7 @@ import (
 
 	"github.com/uav-coverage/uavnet/internal/assign"
 	"github.com/uav-coverage/uavnet/internal/graph"
+	"github.com/uav-coverage/uavnet/internal/match"
 )
 
 // Options configure the approximation algorithm (Algorithm 2).
@@ -40,6 +41,13 @@ type Options struct {
 	// deployed network. The gateway extension uses this to guarantee that
 	// some UAV hovers within relay range of the gateway (Fig. 1).
 	RequiredCells []int
+	// ReferenceOracle switches the greedy's marginal-gain oracle from the
+	// incremental bipartite matcher (internal/match) to the flow-based
+	// reference evaluator (assign.Evaluator over Dinic in internal/flow).
+	// Both oracles are exact, so the deployment is identical either way —
+	// internal/verify asserts as much on its seed corpus; the switch exists
+	// for differential verification and benchmarking.
+	ReferenceOracle bool
 	// GroundLeftovers keeps UAVs beyond the q_j network members grounded,
 	// which is what Algorithm 2's pseudocode literally states. By default
 	// (false) the implementation extends the network greedily with the
@@ -183,9 +191,9 @@ func Approx(in *Instance, opts Options) (*Deployment, error) {
 		go func() {
 			out := workerOut{best: subsetResult{idx: -1, served: -1}}
 			defer func() { results <- out }()
-			// One oracle per worker, reset per subset, so the flow network's
+			// One oracle per worker, reset per subset, so the matcher's
 			// memory is reused across the whole enumeration.
-			oracle, err := newPlacementOracle(in, caps)
+			oracle, err := newPlacementOracle(in, caps, opts.ReferenceOracle)
 			if err != nil {
 				out.err = err
 				return
@@ -376,17 +384,16 @@ func evaluateSubset(in *Instance, idx int64, anchors []int, budget Budget, q []i
 	}
 	scr.slotLoc = slotLoc
 
-	// Score the full placement by continuing the greedy's committed flow:
-	// the first len(selected) slots are already committed, so only the
-	// relay and leftover stations need augmenting. The max-flow value is
+	// Score the full placement by continuing the greedy's committed
+	// matching: the first len(selected) slots are already committed, so only
+	// the relay and leftover stations need augmenting. The matching value is
 	// independent of commit order, so this equals a from-scratch solve.
 	for slot := len(selected); slot < len(slotLoc); slot++ {
-		uav := in.ByCapacity[slot]
-		if _, err := oracle.ev.Commit(caps[slot], in.EligibleUsers(uav, slotLoc[slot])); err != nil {
+		if _, err := oracle.Commit(slot, slotLoc[slot]); err != nil {
 			return res, false, false, err
 		}
 	}
-	return subsetResult{idx: idx, served: oracle.ev.Served(), locs: slotLoc, nsel: len(selected)}, true, false, nil
+	return subsetResult{idx: idx, served: oracle.served(), locs: slotLoc, nsel: len(selected)}, true, false, nil
 }
 
 // connectLocations returns the sorted node set of the connected subgraph G_j
@@ -467,25 +474,53 @@ func finalizeDeployment(in *Instance, best subsetResult) (*Deployment, error) {
 	return dep, nil
 }
 
-// placementOracle adapts assign.Evaluator to the matroid.Oracle interface:
-// the marginal gain of placing the round-th largest-capacity UAV at a
-// location is the increase in optimally-served users.
-type placementOracle struct {
-	in   *Instance
-	caps []int
-	ev   *assign.Evaluator
+// gainEngine is the incremental what-if/commit contract the placement
+// oracle drives. match.Matcher (the default) and assign.Evaluator (the
+// Dinic-backed reference, kept for differential verification) both satisfy
+// it with identical semantics.
+type gainEngine interface {
+	Reset() error
+	Served() int
+	Gain(capacity int, eligible []int) (int, error)
+	Commit(capacity int, eligible []int) (int, error)
 }
 
-func newPlacementOracle(in *Instance, caps []int) (*placementOracle, error) {
-	ev, err := assign.NewEvaluator(in.Scenario.N(), len(caps))
+// placementOracle adapts a gainEngine to the matroid.Oracle interface: the
+// marginal gain of placing the round-th largest-capacity UAV at a location
+// is the increase in optimally-served users.
+type placementOracle struct {
+	in     *Instance
+	caps   []int
+	engine gainEngine
+	// matcher is the engine when the incremental matcher is active, nil on
+	// the reference path; it carries the reach bitset RoundBound popcounts.
+	matcher *match.Matcher
+}
+
+func newPlacementOracle(in *Instance, caps []int, reference bool) (*placementOracle, error) {
+	o := &placementOracle{in: in, caps: caps}
+	if reference {
+		ev, err := assign.NewEvaluator(in.Scenario.N(), len(caps))
+		if err != nil {
+			return nil, err
+		}
+		o.engine = ev
+		return o, nil
+	}
+	m, err := match.NewMatcher(in.Scenario.N(), len(caps))
 	if err != nil {
 		return nil, err
 	}
-	return &placementOracle{in: in, caps: caps, ev: ev}, nil
+	o.matcher = m
+	o.engine = m
+	return o, nil
 }
 
 // reset rewinds the oracle for a fresh anchor subset, reusing its memory.
-func (o *placementOracle) reset() error { return o.ev.Reset() }
+func (o *placementOracle) reset() error { return o.engine.Reset() }
+
+// served returns the users served by the committed placements.
+func (o *placementOracle) served() int { return o.engine.Served() }
 
 func (o *placementOracle) eligible(round, loc int) []int {
 	uav := o.in.ByCapacity[round]
@@ -494,12 +529,12 @@ func (o *placementOracle) eligible(round, loc int) []int {
 
 // Gain implements matroid.Oracle.
 func (o *placementOracle) Gain(round, loc int) (int, error) {
-	return o.ev.Gain(o.caps[round], o.eligible(round, loc))
+	return o.engine.Gain(o.caps[round], o.eligible(round, loc))
 }
 
 // Commit implements matroid.Oracle.
 func (o *placementOracle) Commit(round, loc int) (int, error) {
-	return o.ev.Commit(o.caps[round], o.eligible(round, loc))
+	return o.engine.Commit(o.caps[round], o.eligible(round, loc))
 }
 
 // Bound implements matroid.Bounder: a placement can never serve more users
@@ -512,4 +547,24 @@ func (o *placementOracle) Bound(loc int) int {
 		return o.caps[0]
 	}
 	return n
+}
+
+// RoundBound implements matroid.DynamicBounder: with the matcher active it
+// popcounts the location's eligibility mask against the matcher's
+// still-augmentable user set, bounding the gain in a few word operations
+// (see match.Matcher.GainBound for why that set, not merely the unserved
+// one, is the sound choice). The reference path falls back to the static
+// per-round capacity bound; sound bounds of any tightness leave the
+// selection identical, so the two paths still agree deployment-for-
+// deployment.
+func (o *placementOracle) RoundBound(round, loc int) int {
+	if o.matcher == nil {
+		c := o.caps[round]
+		if n := len(o.eligible(round, loc)); n < c {
+			return n
+		}
+		return c
+	}
+	class := o.in.ClassOf[o.in.ByCapacity[round]]
+	return o.matcher.GainBound(o.caps[round], o.in.EligMask[class][loc])
 }

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/uav-coverage/uavnet/internal/channel"
+	"github.com/uav-coverage/uavnet/internal/geom"
+)
+
+// TestEligibleSortedUniqueProperty asserts the documented invariant of
+// Instance.Eligible on random instances: every list is sorted strictly
+// ascending (hence duplicate-free), with every entry a valid user index, and
+// EligMask is exactly the bitset image of the list. The matcher's popcount
+// gain bound and BitsetFromSorted both rely on this.
+func TestEligibleSortedUniqueProperty(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(90))
+	for trial := 0; trial < 30; trial++ {
+		sc := &Scenario{
+			Grid: geom.Grid{
+				Length:   float64(1+r.Intn(4)) * 500,
+				Width:    float64(1+r.Intn(3)) * 500,
+				Side:     500,
+				Altitude: 300,
+			},
+			UAVRange: 750,
+			Channel:  channel.DefaultParams(),
+		}
+		n := 1 + r.Intn(40)
+		for i := 0; i < n; i++ {
+			minRate := 0.0
+			if r.Intn(2) == 0 {
+				minRate = 2000
+			}
+			sc.Users = append(sc.Users, User{
+				Pos: geom.Point2{
+					X: r.Float64() * sc.Grid.Length,
+					Y: r.Float64() * sc.Grid.Width,
+				},
+				MinRateBps: minRate,
+			})
+		}
+		k := 1 + r.Intn(5)
+		for j := 0; j < k; j++ {
+			tx := channel.Transmitter{PowerDBm: 30, AntennaGainDBi: 3}
+			if r.Intn(3) == 0 {
+				tx.PowerDBm = 24
+			}
+			sc.UAVs = append(sc.UAVs, UAV{
+				Capacity:  1 + r.Intn(6),
+				Tx:        tx,
+				UserRange: float64(r.Intn(3)) * 250, // 0 (uncapped), 250 or 500 m
+			})
+		}
+		in, err := NewInstance(sc)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(in.EligMask) != len(in.Eligible) {
+			t.Fatalf("trial %d: %d mask classes vs %d eligibility classes",
+				trial, len(in.EligMask), len(in.Eligible))
+		}
+		for c := range in.Eligible {
+			for loc, el := range in.Eligible[c] {
+				for i, u := range el {
+					if u < 0 || u >= n {
+						t.Fatalf("trial %d: class %d loc %d: user %d outside [0,%d)",
+							trial, c, loc, u, n)
+					}
+					if i > 0 && el[i-1] >= u {
+						t.Fatalf("trial %d: class %d loc %d: not strictly ascending at %d: %v",
+							trial, c, loc, i, el)
+					}
+				}
+				mask := in.EligMask[c][loc]
+				inList := make(map[int]bool, len(el))
+				for _, u := range el {
+					inList[u] = true
+				}
+				for u := 0; u < n; u++ {
+					if mask.Has(u) != inList[u] {
+						t.Fatalf("trial %d: class %d loc %d user %d: mask %v, list %v",
+							trial, c, loc, u, mask.Has(u), inList[u])
+					}
+				}
+			}
+		}
+	}
+}

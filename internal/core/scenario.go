@@ -12,6 +12,7 @@ import (
 	"github.com/uav-coverage/uavnet/internal/channel"
 	"github.com/uav-coverage/uavnet/internal/geom"
 	"github.com/uav-coverage/uavnet/internal/graph"
+	"github.com/uav-coverage/uavnet/internal/match"
 )
 
 // User is one ground user to be served (Section II-A).
@@ -131,7 +132,16 @@ type Instance struct {
 	ClassOf []int
 	// Eligible[class][loc] lists the users a UAV of that class can serve
 	// from location loc (within range and meeting the user's minimum rate).
+	//
+	// Invariant: every list is sorted ascending and duplicate-free (users
+	// are scanned in index order at construction, each appended at most
+	// once). EligMask and the matcher's popcount bound path rely on it;
+	// TestEligibleSortedUniqueProperty asserts it on random instances.
 	Eligible [][][]int
+	// EligMask[class][loc] is Eligible[class][loc] as a user bitset, the
+	// representation the greedy's dynamic gain bound popcounts against the
+	// matcher's still-augmentable user set.
+	EligMask [][]match.Bitset
 }
 
 // NewInstance validates the scenario and precomputes the derived structures.
@@ -215,6 +225,7 @@ func NewInstance(sc *Scenario) (*Instance, error) {
 			maxDist[i] = d
 		}
 		perLoc := make([][]int, m)
+		perLocMask := make([]match.Bitset, m)
 		for j := 0; j < m; j++ {
 			var el []int
 			for i := range sc.Users {
@@ -225,8 +236,10 @@ func NewInstance(sc *Scenario) (*Instance, error) {
 				}
 			}
 			perLoc[j] = el
+			perLocMask[j] = match.BitsetFromSorted(len(sc.Users), el)
 		}
 		in.Eligible[c] = perLoc
+		in.EligMask = append(in.EligMask, perLocMask)
 	}
 	return in, nil
 }

@@ -5,7 +5,13 @@
 // capacities reduces to an integral max-flow on a bipartite-ish network
 // (source -> users -> locations -> sink). The implementation supports
 // incremental use: capacities can be added after a MaxFlow call and the flow
-// re-augmented, which the greedy placement loop exploits.
+// re-augmented.
+//
+// Since the internal/match matcher took over the greedy placement loop's
+// marginal-gain queries, this package is the reference path: it backs
+// assign.Solve (final assignments, fixed placements, verification) and the
+// assign.Evaluator that core.Options.ReferenceOracle and the differential
+// tests compare the matcher against.
 package flow
 
 import "fmt"

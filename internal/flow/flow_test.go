@@ -24,6 +24,7 @@ func mustFlow(t *testing.T, nw *Network, s, tt int) int {
 }
 
 func TestMaxFlowSingleEdge(t *testing.T) {
+	t.Parallel()
 	nw := NewNetwork(2)
 	h := mustEdge(t, nw, 0, 1, 7)
 	if f := mustFlow(t, nw, 0, 1); f != 7 {
@@ -35,6 +36,7 @@ func TestMaxFlowSingleEdge(t *testing.T) {
 }
 
 func TestMaxFlowClassic(t *testing.T) {
+	t.Parallel()
 	// CLRS-style example.
 	nw := NewNetwork(6)
 	mustEdge(t, nw, 0, 1, 16)
@@ -52,6 +54,7 @@ func TestMaxFlowClassic(t *testing.T) {
 }
 
 func TestMaxFlowDisconnected(t *testing.T) {
+	t.Parallel()
 	nw := NewNetwork(4)
 	mustEdge(t, nw, 0, 1, 5)
 	mustEdge(t, nw, 2, 3, 5)
@@ -61,6 +64,7 @@ func TestMaxFlowDisconnected(t *testing.T) {
 }
 
 func TestMaxFlowBipartiteMatching(t *testing.T) {
+	t.Parallel()
 	// 3 users, 2 UAVs with capacities 1 and 2; user 0 -> uav A, users 1,2 -> uav B.
 	// s=0, users 1..3, uavs 4..5, t=6.
 	nw := NewNetwork(7)
@@ -78,6 +82,7 @@ func TestMaxFlowBipartiteMatching(t *testing.T) {
 }
 
 func TestMaxFlowCapacityZero(t *testing.T) {
+	t.Parallel()
 	nw := NewNetwork(2)
 	mustEdge(t, nw, 0, 1, 0)
 	if f := mustFlow(t, nw, 0, 1); f != 0 {
@@ -86,6 +91,7 @@ func TestMaxFlowCapacityZero(t *testing.T) {
 }
 
 func TestAddEdgeErrors(t *testing.T) {
+	t.Parallel()
 	nw := NewNetwork(2)
 	if _, err := nw.AddEdge(0, 0, 1); err == nil {
 		t.Error("self loop should fail")
@@ -99,6 +105,7 @@ func TestAddEdgeErrors(t *testing.T) {
 }
 
 func TestMaxFlowErrors(t *testing.T) {
+	t.Parallel()
 	nw := NewNetwork(2)
 	if _, err := nw.MaxFlow(0, 0); err == nil {
 		t.Error("s == t should fail")
@@ -109,6 +116,7 @@ func TestMaxFlowErrors(t *testing.T) {
 }
 
 func TestIncrementalAugmentation(t *testing.T) {
+	t.Parallel()
 	// Max flow, then raise a bottleneck capacity and re-augment: the two
 	// calls must sum to the max flow of the final network.
 	nw := NewNetwork(3)
@@ -126,6 +134,7 @@ func TestIncrementalAugmentation(t *testing.T) {
 }
 
 func TestAddCapacityErrors(t *testing.T) {
+	t.Parallel()
 	nw := NewNetwork(2)
 	h := mustEdge(t, nw, 0, 1, 1)
 	if err := nw.AddCapacity(h+1, 1); err == nil {
@@ -140,6 +149,7 @@ func TestAddCapacityErrors(t *testing.T) {
 }
 
 func TestCloneIndependence(t *testing.T) {
+	t.Parallel()
 	nw := NewNetwork(3)
 	mustEdge(t, nw, 0, 1, 3)
 	mustEdge(t, nw, 1, 2, 3)
@@ -218,6 +228,7 @@ func bruteMaxFlow(n int, es []rawEdge, s, t int) int {
 }
 
 func TestMaxFlowAgainstBruteForceProperty(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(123))
 	for trial := 0; trial < 150; trial++ {
 		n, es := buildRandom(r)
@@ -234,6 +245,7 @@ func TestMaxFlowAgainstBruteForceProperty(t *testing.T) {
 }
 
 func TestMinCutEqualsMaxFlowProperty(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(321))
 	for trial := 0; trial < 100; trial++ {
 		n, es := buildRandom(r)
@@ -261,6 +273,7 @@ func TestMinCutEqualsMaxFlowProperty(t *testing.T) {
 }
 
 func TestFlowConservationProperty(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(555))
 	for trial := 0; trial < 100; trial++ {
 		n, es := buildRandom(r)
@@ -299,6 +312,7 @@ func TestFlowConservationProperty(t *testing.T) {
 }
 
 func TestIncrementalEqualsFromScratchProperty(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(777))
 	for trial := 0; trial < 80; trial++ {
 		n, es := buildRandom(r)

@@ -15,6 +15,7 @@ func mustCostEdge(t *testing.T, cn *CostNetwork, u, v, c int, cost int64) int {
 }
 
 func TestMinCostSingleEdge(t *testing.T) {
+	t.Parallel()
 	cn := NewCostNetwork(2)
 	mustCostEdge(t, cn, 0, 1, 5, 3)
 	f, c, err := cn.MinCostMaxFlow(0, 1)
@@ -27,6 +28,7 @@ func TestMinCostSingleEdge(t *testing.T) {
 }
 
 func TestMinCostPrefersCheapPath(t *testing.T) {
+	t.Parallel()
 	// Two parallel routes 0->1->3 (cost 1+1) and 0->2->3 (cost 5+5), each
 	// capacity 1. One unit must take the cheap route.
 	cn := NewCostNetwork(4)
@@ -44,6 +46,7 @@ func TestMinCostPrefersCheapPath(t *testing.T) {
 }
 
 func TestMinCostReroutesThroughResidual(t *testing.T) {
+	t.Parallel()
 	// Classic rerouting: the greedy-cheapest first path must be partially
 	// undone to reach maximum flow at minimum cost.
 	cn := NewCostNetwork(4)
@@ -74,6 +77,7 @@ func TestMinCostReroutesThroughResidual(t *testing.T) {
 }
 
 func TestMinCostErrors(t *testing.T) {
+	t.Parallel()
 	cn := NewCostNetwork(2)
 	if _, err := cn.AddEdge(0, 0, 1, 1); err == nil {
 		t.Error("self loop should fail")
@@ -96,6 +100,7 @@ func TestMinCostErrors(t *testing.T) {
 }
 
 func TestMinCostFlowValueMatchesDinicProperty(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(99))
 	for trial := 0; trial < 100; trial++ {
 		n, es := buildRandom(r)
@@ -117,6 +122,7 @@ func TestMinCostFlowValueMatchesDinicProperty(t *testing.T) {
 }
 
 func TestMinCostOptimalityCertificateProperty(t *testing.T) {
+	t.Parallel()
 	// After MinCostMaxFlow, the residual graph must contain no negative
 	// cycle: the canonical optimality condition.
 	r := rand.New(rand.NewSource(123))
@@ -136,6 +142,7 @@ func TestMinCostOptimalityCertificateProperty(t *testing.T) {
 }
 
 func TestMinCostFlowConservationProperty(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 60; trial++ {
 		n, es := buildRandom(r)

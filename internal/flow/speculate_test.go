@@ -6,6 +6,7 @@ import (
 )
 
 func TestBeginRollbackRestoresState(t *testing.T) {
+	t.Parallel()
 	nw := NewNetwork(4)
 	h1 := mustEdge(t, nw, 0, 1, 3)
 	mustEdge(t, nw, 1, 3, 3)
@@ -36,6 +37,7 @@ func TestBeginRollbackRestoresState(t *testing.T) {
 }
 
 func TestBeginCannotNest(t *testing.T) {
+	t.Parallel()
 	nw := NewNetwork(2)
 	if err := nw.Begin(); err != nil {
 		t.Fatal(err)
@@ -51,6 +53,7 @@ func TestBeginCannotNest(t *testing.T) {
 }
 
 func TestRollbackWithoutBeginIsNoop(t *testing.T) {
+	t.Parallel()
 	nw := NewNetwork(2)
 	mustEdge(t, nw, 0, 1, 1)
 	nw.Rollback() // must not panic or corrupt
@@ -60,6 +63,7 @@ func TestRollbackWithoutBeginIsNoop(t *testing.T) {
 }
 
 func TestCommitSpeculationKeepsState(t *testing.T) {
+	t.Parallel()
 	nw := NewNetwork(3)
 	mustEdge(t, nw, 0, 1, 2)
 	if err := nw.Begin(); err != nil {
@@ -81,6 +85,7 @@ func TestCommitSpeculationKeepsState(t *testing.T) {
 // TestSpeculativeGainMatchesClone cross-validates the journal/rollback path
 // against the clone-based evaluation on random networks.
 func TestSpeculativeGainMatchesCloneProperty(t *testing.T) {
+	t.Parallel()
 	r := rand.New(rand.NewSource(4242))
 	for trial := 0; trial < 120; trial++ {
 		n, es := buildRandom(r)

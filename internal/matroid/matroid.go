@@ -211,6 +211,23 @@ type Bounder interface {
 	Bound(e int) int
 }
 
+// DynamicBounder is a further optional Oracle extension: RoundBound(round, e)
+// returns an upper bound on the marginal gain of element e at the given
+// round that may tighten as the committed set grows (e.g. a popcount against
+// the still-augmentable users for UAV placement). The bound MUST be sound —
+// at least the true current gain — but should be much cheaper than Gain.
+// When an oracle implements DynamicBounder, the greedy consults the dynamic
+// bound on every stale pop and, if it already drops the element below the
+// heap top, re-keys the entry without paying for an exact evaluation.
+//
+// Soundness is all that correctness needs: the greedy commits an element
+// only when its freshly evaluated exact gain tops every other entry's upper
+// bound, so with any sound bounds the selection is identical — bounds only
+// decide how many exact evaluations are skipped.
+type DynamicBounder interface {
+	RoundBound(round, e int) int
+}
+
 // pqItem is one lazy-greedy priority-queue entry.
 type pqItem struct {
 	elem  int
@@ -224,12 +241,16 @@ type pqItem struct {
 // an interface (one heap allocation per operation otherwise).
 type pq []pqItem
 
-func (q pq) less(i, j int) bool {
-	if q[i].bound != q[j].bound {
-		return q[i].bound > q[j].bound
+// itemLess reports whether a sorts before b: higher bound first, then the
+// smaller element index for a deterministic tie-break.
+func itemLess(a, b pqItem) bool {
+	if a.bound != b.bound {
+		return a.bound > b.bound
 	}
-	return q[i].elem < q[j].elem // deterministic tie-break
+	return a.elem < b.elem
 }
+
+func (q pq) less(i, j int) bool { return itemLess(q[i], q[j]) }
 
 func (q pq) init() {
 	for i := len(q)/2 - 1; i >= 0; i-- {
@@ -326,6 +347,7 @@ func (lr *LazyRunner) Run(ground []int, rounds int, feasible func(selected []int
 	}
 	q := lr.q[:0]
 	bounder, hasBounds := o.(Bounder)
+	dyn, hasDyn := o.(DynamicBounder)
 	maxElem := -1
 	for _, e := range ground {
 		bound := math.MaxInt32
@@ -365,6 +387,21 @@ rounds:
 				selected = append(selected, it.elem)
 				lr.mark[it.elem] = true
 				continue rounds
+			}
+			if hasDyn {
+				// A cheap sound bound may already push the element below the
+				// heap top; if so, re-key it (round stays stale, so it will
+				// be evaluated exactly before it can ever commit) and move
+				// on without paying for a matching query. The re-key fires
+				// only when the bound strictly drops, so every element pays
+				// at most bound-many re-keys and the loop terminates.
+				if b := dyn.RoundBound(round, it.elem); b < it.bound {
+					it.bound = b
+					if len(q) > 0 && itemLess(q[0], it) {
+						q.push(it)
+						continue
+					}
+				}
 			}
 			g, err := o.Gain(round, it.elem)
 			if err != nil {

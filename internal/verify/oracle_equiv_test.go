@@ -1,0 +1,51 @@
+package verify
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/uav-coverage/uavnet/internal/core"
+)
+
+// TestOracleEquivalence proves the incremental matcher behind the default
+// placement oracle is a drop-in replacement for the Dinic-based reference:
+// on every differential seed, Approx with the default (matcher) oracle and
+// with Options.ReferenceOracle must produce byte-identical deployments —
+// same served count, same locations, same per-UAV assignment.
+func TestOracleEquivalence(t *testing.T) {
+	t.Parallel()
+	seeds := int64(diffSeeds)
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			sc, err := RandomScenario(rand.New(rand.NewSource(seed)))
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			in, err := core.NewInstance(sc)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			s := 2
+			if s > sc.K() {
+				s = sc.K()
+			}
+			fast, err := core.Approx(in, core.Options{S: s, Workers: 2})
+			if err != nil {
+				t.Fatalf("seed %d: matcher oracle: %v", seed, err)
+			}
+			ref, err := core.Approx(in, core.Options{S: s, Workers: 2, ReferenceOracle: true})
+			if err != nil {
+				t.Fatalf("seed %d: reference oracle: %v", seed, err)
+			}
+			if !reflect.DeepEqual(fast, ref) {
+				t.Fatalf("seed %d: oracles diverge:\nmatcher:   %+v\nreference: %+v", seed, fast, ref)
+			}
+		})
+	}
+}
