@@ -13,9 +13,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -45,8 +47,19 @@ func run() error {
 		chart      = flag.Bool("chart", false, "also render each figure as an ASCII line chart")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with 'go tool pprof')")
 		memProfile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		timeout    = flag.Duration("timeout", 0, "abort the whole campaign after this long (0 = none)")
 	)
 	flag.Parse()
+
+	// SIGINT (or -timeout) aborts the campaign between algorithm runs instead
+	// of leaving half-written output; approAlg runs also stop mid-enumeration.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -81,6 +94,7 @@ func run() error {
 		Workers:    *workers,
 		MaxSubsets: *maxSubsets,
 		Literal:    *literal,
+		Context:    ctx,
 	}
 	for i := 0; i < *seeds; i++ {
 		cfg.Seeds = append(cfg.Seeds, int64(i+1))

@@ -7,12 +7,25 @@
 //	uavdeploy -scenario scenario.json -alg MCS        # one baseline
 //	uavdeploy -scenario scenario.json -alg all        # compare everything
 //	uavdeploy -n 500 -k 8 -seed 3                     # generate inline
+//
+// Run control (approAlg only):
+//
+//	uavdeploy -scenario big.json -timeout 30s -checkpoint run.ckpt
+//	uavdeploy -scenario big.json -resume run.ckpt     # continue to completion
+//	uavdeploy -scenario big.json -progress 2s         # periodic status lines
+//
+// A run interrupted by SIGINT or -timeout prints its best-so-far deployment,
+// writes the -checkpoint file if one was given, and exits non-zero; resuming
+// from that checkpoint produces the same deployment as an uninterrupted run.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -41,8 +54,23 @@ func run() error {
 		refine       = flag.Bool("refine", false, "refine the assignment to minimize total pathloss")
 		gatewayAt    = flag.String("gateway", "", "gateway position as \"x,y\" meters; builds a relay chain to it")
 		verifyDep    = flag.Bool("verify", false, "run the feasibility oracle on every deployment; exit non-zero on violations")
+		timeout      = flag.Duration("timeout", 0, "abort the run after this long, keeping the best-so-far deployment (0 = none)")
+		progressIntv = flag.Duration("progress", 0, "print approAlg progress to stderr at this interval (0 = off)")
+		ckptPath     = flag.String("checkpoint", "", "write a resumable checkpoint here when the run is stopped early")
+		resumePath   = flag.String("resume", "", "resume an approAlg run from this checkpoint file")
+		outPath      = flag.String("out", "", "write the final deployment as JSON here")
 	)
 	flag.Parse()
+
+	// SIGINT stops the solver gracefully: workers drain, the best-so-far
+	// deployment is reported, and -checkpoint captures the frontier.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var sc *uavnet.Scenario
 	var err error
@@ -66,6 +94,20 @@ func run() error {
 		names = uavnet.AlgorithmNames()
 	}
 	opts := uavnet.Options{S: *s, Workers: *workers, MaxSubsets: *maxSubsets, GroundLeftovers: *literal}
+	if *progressIntv > 0 {
+		opts.ProgressInterval = *progressIntv
+		opts.Progress = printProgress
+	}
+	if *resumePath != "" {
+		cp, err := uavnet.LoadCheckpoint(*resumePath)
+		if err != nil {
+			return err
+		}
+		opts.Resume = cp
+		fmt.Printf("resuming from %s: cursor %d / %d subsets\n", *resumePath, cp.Cursor, cp.Total)
+	}
+
+	var runErr error
 	for _, name := range names {
 		start := time.Now()
 		var dep *uavnet.Deployment
@@ -76,17 +118,19 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			dep, err = uavnet.DeployToGateway(in, gw, opts)
-			if err != nil {
+			dep, err = uavnet.DeployToGatewayContext(ctx, in, gw, opts)
+			if err != nil && dep == nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
+			runErr = errors.Join(runErr, err)
 		default:
 			var err error
-			dep, err = uavnet.DeployWith(name, in, opts)
-			if err != nil {
+			dep, err = uavnet.DeployWithContext(ctx, name, in, opts)
+			if err != nil && dep == nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
-			if *gatewayAt != "" {
+			runErr = errors.Join(runErr, err)
+			if *gatewayAt != "" && dep.Status != uavnet.StatusStopped {
 				// Baselines are gateway-oblivious; retrofit a relay chain.
 				gw, err := parseGateway(*gatewayAt)
 				if err != nil {
@@ -98,7 +142,7 @@ func run() error {
 				}
 			}
 		}
-		if *refine {
+		if *refine && dep.Status != uavnet.StatusStopped {
 			refined, totalPL, err := uavnet.RefineAssignment(in, dep)
 			if err != nil {
 				return fmt.Errorf("%s: refine: %w", name, err)
@@ -109,15 +153,49 @@ func run() error {
 		}
 		elapsed := time.Since(start)
 		report(in, dep, elapsed, *showMap)
-		if *verifyDep {
+		if dep.Status == uavnet.StatusStopped {
+			if *ckptPath != "" && dep.Checkpoint != nil {
+				if err := uavnet.SaveCheckpoint(*ckptPath, dep.Checkpoint); err != nil {
+					return fmt.Errorf("%s: checkpoint: %w", name, err)
+				}
+				fmt.Printf("run stopped at subset %d / %d; resume with -resume %s\n\n",
+					dep.Checkpoint.Cursor, dep.Checkpoint.Total, *ckptPath)
+			} else {
+				fmt.Printf("run stopped early; pass -checkpoint to make it resumable\n\n")
+			}
+		}
+		if *verifyDep && dep.Served > 0 {
 			rep := uavnet.Verify(in, dep)
 			if !rep.OK() {
 				return fmt.Errorf("%s: verification failed: %s", name, rep)
 			}
 			fmt.Printf("verification:   ok (capacity, min-rate, connectivity, matroids, bookkeeping)\n\n")
 		}
+		if *outPath != "" {
+			if err := uavnet.SaveDeployment(*outPath, dep); err != nil {
+				return fmt.Errorf("%s: out: %w", name, err)
+			}
+		}
 	}
-	return nil
+	return runErr
+}
+
+// printProgress renders one Options.Progress snapshot to stderr.
+func printProgress(p uavnet.RunProgress) {
+	eta := "?"
+	if p.ETA > 0 {
+		eta = p.ETA.Round(time.Second).String()
+	}
+	fmt.Fprintf(os.Stderr, "progress: %d / %d subsets (%.1f%%), %d evaluated, %d pruned, best %d served, elapsed %s, eta %s\n",
+		p.Done, p.Total, 100*float64(p.Done)/float64(maxI64(p.Total, 1)),
+		p.Evaluated, p.Pruned, p.BestServed, p.Elapsed.Round(time.Second), eta)
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // parseGateway parses an "x,y" position in meters.

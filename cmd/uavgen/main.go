@@ -5,6 +5,7 @@
 //
 //	uavgen -out scenario.json -n 3000 -k 20 -seed 42
 //	uavgen -out sparse.json -dist uniform -n 500 -k 8
+//	uavgen -fingerprint scenario.json          # print an existing file's fingerprint
 package main
 
 import (
@@ -34,8 +35,18 @@ func run() error {
 		cmax = flag.Int("cmax", 300, "maximum UAV service capacity")
 		dist = flag.String("dist", "fat-tailed", "user distribution: fat-tailed | uniform | hotspot")
 		seed = flag.Int64("seed", 1, "random seed")
+		fp   = flag.String("fingerprint", "", "print the scenario fingerprint of this existing file and exit")
 	)
 	flag.Parse()
+
+	if *fp != "" {
+		sc, err := uavnet.LoadScenario(*fp)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: fingerprint %016x\n", *fp, sc.Fingerprint())
+		return nil
+	}
 
 	d, err := parseDistribution(*dist)
 	if err != nil {
@@ -58,8 +69,10 @@ func run() error {
 	if err := uavnet.SaveScenario(*out, sc); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: %d users, %d UAVs, %d candidate cells (%s)\n",
-		*out, sc.N(), sc.K(), sc.M(), *dist)
+	// The fingerprint guards checkpoint resumption (uavdeploy -resume
+	// refuses a checkpoint taken on a different scenario).
+	fmt.Printf("wrote %s: %d users, %d UAVs, %d candidate cells (%s), fingerprint %016x\n",
+		*out, sc.N(), sc.K(), sc.M(), *dist, sc.Fingerprint())
 	return nil
 }
 

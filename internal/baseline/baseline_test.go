@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -143,7 +144,7 @@ func TestBaselinesAreCapacityOblivious(t *testing.T) {
 		t.Fatal(err)
 	}
 	deps := runAll(t, in)
-	apx, err := core.Approx(in, core.Options{S: 2, Workers: 1})
+	apx, err := core.Approx(context.Background(), in, core.Options{S: 2, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

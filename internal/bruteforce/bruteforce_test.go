@@ -1,6 +1,7 @@
 package bruteforce
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -140,7 +141,7 @@ func TestApproxNeverBeatsOptimalProperty(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		apx, err := core.Approx(in, core.Options{S: 2, Workers: 2})
+		apx, err := core.Approx(context.Background(), in, core.Options{S: 2, Workers: 2})
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -176,7 +177,7 @@ func TestTheoremOneRatioProperty(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		apx, err := core.Approx(in, core.Options{S: s, Workers: 2})
+		apx, err := core.Approx(context.Background(), in, core.Options{S: s, Workers: 2})
 		if err != nil {
 			t.Fatal(err)
 		}

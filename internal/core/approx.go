@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/uav-coverage/uavnet/internal/assign"
 	"github.com/uav-coverage/uavnet/internal/graph"
@@ -57,6 +60,28 @@ type Options struct {
 	// behaviour (its reported approAlg results are only achievable when all
 	// K UAVs fly).
 	GroundLeftovers bool
+	// StopAfter, when positive, stops the run once the claim cursor reaches
+	// this absolute enumeration index (counting from the start of the
+	// enumeration, including any prefix covered by a resumed checkpoint).
+	// The run then returns a StatusStopped deployment carrying a Checkpoint,
+	// exactly as if the context had been cancelled at that point — a
+	// deterministic work budget for incremental sweeps. Zero runs to
+	// completion.
+	StopAfter int64
+	// Resume restarts a run from a checkpoint produced by an earlier
+	// stopped run. The checkpoint must match this run exactly (scenario
+	// fingerprint, effective s, seed, subset cap, prune/leftover flags,
+	// required cells); Approx rejects any mismatch. A resumed run that
+	// finishes yields a deployment byte-identical to an uninterrupted one.
+	Resume *Checkpoint
+	// Progress, when non-nil, receives periodic Progress snapshots from a
+	// monitor goroutine every ProgressInterval, plus one final synchronous
+	// snapshot just before Approx returns. The hook must be safe to call
+	// from another goroutine and should return quickly.
+	Progress func(Progress)
+	// ProgressInterval is the sampling period of the Progress hook.
+	// Zero or negative selects one second.
+	ProgressInterval time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -93,6 +118,16 @@ type Deployment struct {
 	// SubsetsEvaluated and SubsetsPruned count the anchor subsets examined
 	// and skipped by the sound pruning rule (approAlg only).
 	SubsetsEvaluated, SubsetsPruned int64
+	// Status reports whether the run exhausted the enumeration
+	// (StatusComplete) or was stopped early (StatusStopped). Algorithms
+	// other than approAlg always complete. Zero-valued for deployments
+	// predating the run-control layer; treat "" as complete.
+	Status RunStatus `json:",omitempty"`
+	// Checkpoint resumes a stopped run (set only when Status is
+	// StatusStopped; see Options.Resume). It is excluded from the
+	// deployment's JSON form so stopped-then-resumed and uninterrupted runs
+	// serialize identically once finished.
+	Checkpoint *Checkpoint `json:"-"`
 }
 
 // DeployedLocations returns the sorted distinct locations that received a UAV.
@@ -140,7 +175,20 @@ func (a subsetResult) better(b subsetResult) bool {
 // finds. The returned deployment always satisfies all three constraints of
 // Section II-C: per-UAV capacities, per-user minimum rates (by construction
 // of the eligibility lists), and connectivity of the deployed network.
-func Approx(in *Instance, opts Options) (*Deployment, error) {
+//
+// Run control: the enumeration honors ctx. On cancellation or deadline,
+// workers finish only their already-claimed chunk, every goroutine and the
+// results channel are torn down, and Approx returns the best-so-far
+// deployment with Status StatusStopped and a resumable Checkpoint — TOGETHER
+// WITH ctx.Err(). Callers that care about partial results must therefore
+// inspect the deployment even when the error is non-nil; callers that treat
+// cancellation as plain failure can keep the usual "if err != nil" shape. A
+// nil ctx is treated as context.Background().
+func Approx(ctx context.Context, in *Instance, opts Options) (*Deployment, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
 	opts = opts.withDefaults()
 	sc := in.Scenario
 	k, m := sc.K(), sc.M()
@@ -170,6 +218,37 @@ func Approx(in *Instance, opts Options) (*Deployment, error) {
 
 	total, sampled := subsetSpace(m, s, opts)
 
+	// Resume support: seed the cursor, counters, and running best from the
+	// checkpoint after proving it describes this exact run. The enumeration
+	// is a pure function of (Seed, index), so the exact processed prefix
+	// [0, Cursor) plus the checkpointed best reproduce the interrupted run's
+	// state with no RNG snapshotting (sampling reseeds per index).
+	best := subsetResult{idx: -1, served: -1}
+	var startCursor, baseEvaluated, basePruned int64
+	if opts.Resume != nil {
+		if err := opts.Resume.validate(in, s, opts, total, sampled); err != nil {
+			return nil, err
+		}
+		startCursor = opts.Resume.Cursor
+		baseEvaluated = opts.Resume.Evaluated
+		basePruned = opts.Resume.Pruned
+		if b := opts.Resume.Best; b != nil {
+			best = subsetResult{idx: b.Idx, served: b.Served, locs: append([]int(nil), b.Locs...), nsel: b.NSel}
+		}
+	}
+	// stop is the claim bound: total, optionally truncated by the StopAfter
+	// work budget. A stop below total forces a StatusStopped result even
+	// without cancellation.
+	stop := total
+	if opts.StopAfter > 0 && opts.StopAfter < stop {
+		stop = opts.StopAfter
+	}
+	if stop < startCursor {
+		// A budget below a resumed checkpoint's frontier must not rewind it:
+		// the prefix [0, startCursor) is already processed and accounted for.
+		stop = startCursor
+	}
+
 	// Workers claim fixed-size chunks of the enumeration index space from a
 	// shared cursor and fold local bests. Each worker owns a subset source
 	// (stepping incrementally inside a chunk), a placement oracle, and a
@@ -177,6 +256,12 @@ func Approx(in *Instance, opts Options) (*Deployment, error) {
 	// The reduction — most served users, then smallest enumeration index —
 	// is associative and order-independent, so the chosen deployment never
 	// depends on the worker count or on how chunks interleave.
+	//
+	// Cancellation is checked between chunks, never inside one: a claimed
+	// chunk is always finished. That bounds the drain latency by one chunk
+	// (16 subset evaluations) and makes the processed indices the exact
+	// contiguous prefix [startCursor, min(cursor, stop)), which is what lets
+	// a checkpoint record a single cursor instead of a bitmap.
 	type workerOut struct {
 		best              subsetResult
 		pruned, evaluated int64
@@ -184,8 +269,17 @@ func Approx(in *Instance, opts Options) (*Deployment, error) {
 	}
 	results := make(chan workerOut, opts.Workers)
 	var cursor atomic.Int64
+	cursor.Store(startCursor)
 	var abort atomic.Bool
 	const chunk = 16 // subsets per claim: small enough to balance load, large enough to amortize stepping
+
+	// Shared live counters feeding the Progress hook; workers fold their
+	// per-chunk deltas in after finishing each chunk, so the monitor's reads
+	// are cheap and the hot per-subset loop stays atomics-free.
+	var progDone, progEvaluated, progBestServed atomic.Int64
+	progDone.Store(startCursor)
+	progEvaluated.Store(baseEvaluated)
+	progBestServed.Store(int64(best.served))
 
 	for w := 0; w < opts.Workers; w++ {
 		go func() {
@@ -202,14 +296,18 @@ func Approx(in *Instance, opts Options) (*Deployment, error) {
 			scr := newEvalScratch(in, q)
 			var bestLocs []int
 			for !abort.Load() {
+				if ctx.Err() != nil {
+					return // drain: claimed chunks are complete, so the prefix stays exact
+				}
 				lo := cursor.Add(chunk) - chunk
-				if lo >= total {
+				if lo >= stop {
 					return
 				}
 				hi := lo + chunk
-				if hi > total {
-					hi = total
+				if hi > stop {
+					hi = stop
 				}
+				chunkEvaluated, chunkPruned := int64(0), int64(0)
 				for idx := lo; idx < hi; idx++ {
 					anchors, err := src.at(idx)
 					if err != nil {
@@ -224,10 +322,10 @@ func Approx(in *Instance, opts Options) (*Deployment, error) {
 						return
 					}
 					if wasPruned {
-						out.pruned++
+						chunkPruned++
 						continue
 					}
-					out.evaluated++
+					chunkEvaluated++
 					if ok && res.better(out.best) {
 						// res.locs aliases the scratch arena and is
 						// overwritten by the next evaluation; copy it into
@@ -237,11 +335,66 @@ func Approx(in *Instance, opts Options) (*Deployment, error) {
 						out.best = res
 					}
 				}
+				out.pruned += chunkPruned
+				out.evaluated += chunkEvaluated
+				progDone.Add(hi - lo)
+				progEvaluated.Add(chunkEvaluated)
+				for {
+					cur := progBestServed.Load()
+					if int64(out.best.served) <= cur || progBestServed.CompareAndSwap(cur, int64(out.best.served)) {
+						break
+					}
+				}
 			}
 		}()
 	}
 
-	best := subsetResult{idx: -1, served: -1}
+	// Progress monitor: samples the shared counters on a ticker and reports
+	// through the hook. It never touches worker state, so it adds no
+	// contention to the evaluation path; Approx joins it before returning.
+	snapshot := func() Progress {
+		done := progDone.Load()
+		evaluated := progEvaluated.Load()
+		bestServed := progBestServed.Load()
+		if bestServed < 0 {
+			bestServed = 0
+		}
+		p := Progress{
+			Done:       done,
+			Total:      total,
+			Evaluated:  evaluated,
+			Pruned:     done - evaluated,
+			BestServed: int(bestServed),
+			Elapsed:    time.Since(start),
+		}
+		if newDone := done - startCursor; newDone > 0 && done < total {
+			p.ETA = time.Duration(float64(p.Elapsed) / float64(newDone) * float64(total-done))
+		}
+		return p
+	}
+	monitorDone := make(chan struct{})
+	var monitor sync.WaitGroup
+	if opts.Progress != nil {
+		interval := opts.ProgressInterval
+		if interval <= 0 {
+			interval = time.Second
+		}
+		monitor.Add(1)
+		go func() {
+			defer monitor.Done()
+			ticker := time.NewTicker(interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					opts.Progress(snapshot())
+				case <-monitorDone:
+					return
+				}
+			}
+		}()
+	}
+
 	var pruned, evaluated int64
 	var evalErr error
 	for w := 0; w < opts.Workers; w++ {
@@ -255,10 +408,44 @@ func Approx(in *Instance, opts Options) (*Deployment, error) {
 			best = out.best
 		}
 	}
+	close(monitorDone)
+	monitor.Wait()
+	if opts.Progress != nil {
+		opts.Progress(snapshot())
+	}
 	if evalErr != nil {
 		return nil, evalErr
 	}
+	evaluated += baseEvaluated
+	pruned += basePruned
+
+	// frontier is the exact processed prefix: claims are contiguous from
+	// startCursor and every claimed chunk below stop was finished, so
+	// min(cursor, stop) indices are done and nothing beyond is.
+	frontier := cursor.Load()
+	if frontier > stop {
+		frontier = stop
+	}
+	stopped := frontier < total
+	var runErr error
+	if stopped {
+		runErr = ctx.Err() // nil when only StopAfter cut the run short
+	}
+
+	var cp *Checkpoint
+	if stopped {
+		cp = newCheckpoint(in, s, opts, total, sampled, frontier, evaluated, pruned, best)
+	}
 	if best.idx < 0 {
+		if stopped {
+			dep := emptyDeployment(in)
+			dep.Budget = budget
+			dep.SubsetsEvaluated = evaluated
+			dep.SubsetsPruned = pruned
+			dep.Status = StatusStopped
+			dep.Checkpoint = cp
+			return dep, runErr
+		}
 		return nil, fmt.Errorf("core: no feasible deployment: every anchor subset needs more than K=%d UAVs", k)
 	}
 
@@ -273,7 +460,33 @@ func Approx(in *Instance, opts Options) (*Deployment, error) {
 	}
 	dep.SubsetsEvaluated = evaluated
 	dep.SubsetsPruned = pruned
-	return dep, nil
+	dep.Status = StatusComplete
+	if stopped {
+		dep.Status = StatusStopped
+		dep.Checkpoint = cp
+	}
+	return dep, runErr
+}
+
+// emptyDeployment is the all-grounded placement a stopped run returns when
+// no feasible subset was processed before the cut.
+func emptyDeployment(in *Instance) *Deployment {
+	sc := in.Scenario
+	dep := &Deployment{
+		Algorithm:  "approAlg",
+		LocationOf: make([]int, sc.K()),
+		Assignment: assign.Assignment{
+			UserStation: make([]int, sc.N()),
+			PerStation:  make([]int, sc.K()),
+		},
+	}
+	for i := range dep.LocationOf {
+		dep.LocationOf[i] = -1
+	}
+	for i := range dep.Assignment.UserStation {
+		dep.Assignment.UserStation[i] = assign.Unassigned
+	}
+	return dep
 }
 
 // evaluateSubset runs the per-subset body of Algorithm 2 (lines 5-23):

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -113,7 +114,7 @@ func TestApproxTwoClusters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dep, err := Approx(in, Options{S: 2, Workers: 1})
+	dep, err := Approx(context.Background(), in, Options{S: 2, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestApproxCapacityAwarePlacement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dep, err := Approx(in, Options{S: 2, Workers: 1})
+	dep, err := Approx(context.Background(), in, Options{S: 2, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestApproxDeterministicAcrossWorkers(t *testing.T) {
 	}
 	var first *Deployment
 	for _, workers := range []int{1, 2, 8} {
-		dep, err := Approx(in, Options{S: 2, Workers: workers})
+		dep, err := Approx(context.Background(), in, Options{S: 2, Workers: workers})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -200,11 +201,11 @@ func TestApproxPruningIsExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pruned, err := Approx(in, Options{S: 2, Workers: 1})
+	pruned, err := Approx(context.Background(), in, Options{S: 2, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := Approx(in, Options{S: 2, Workers: 1, DisablePrune: true})
+	full, err := Approx(context.Background(), in, Options{S: 2, Workers: 1, DisablePrune: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +239,7 @@ func TestApproxClampsS(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dep, err := Approx(in, Options{S: 3, Workers: 1})
+	dep, err := Approx(context.Background(), in, Options{S: 3, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +262,7 @@ func TestApproxInfeasibleDisconnectedGrid(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Approx(in, Options{S: 2, Workers: 1}); err == nil {
+	if _, err := Approx(context.Background(), in, Options{S: 2, Workers: 1}); err == nil {
 		t.Error("expected infeasibility error on a disconnected location graph")
 	}
 }
@@ -276,7 +277,7 @@ func TestApproxSingleUAV(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dep, err := Approx(in, Options{S: 1, Workers: 1})
+	dep, err := Approx(context.Background(), in, Options{S: 1, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,12 +299,12 @@ func TestApproxMaxSubsetsSampling(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := Approx(in, Options{S: 2, Workers: 1, MaxSubsets: 10, Seed: 1})
+	a, err := Approx(context.Background(), in, Options{S: 2, Workers: 1, MaxSubsets: 10, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	checkDeploymentFeasible(t, in, a)
-	b, err := Approx(in, Options{S: 2, Workers: 4, MaxSubsets: 10, Seed: 1})
+	b, err := Approx(context.Background(), in, Options{S: 2, Workers: 4, MaxSubsets: 10, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +327,7 @@ func TestApproxGreedyUsesAnchors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dep, err := Approx(in, Options{S: 2, Workers: 1})
+	dep, err := Approx(context.Background(), in, Options{S: 2, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -425,7 +426,7 @@ func TestApproxRequiredCells(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Force the network to touch cell 0 (the corner opposite the users).
-	dep, err := Approx(in, Options{S: 2, Workers: 1, RequiredCells: []int{0}})
+	dep, err := Approx(context.Background(), in, Options{S: 2, Workers: 1, RequiredCells: []int{0}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -450,7 +451,7 @@ func TestApproxRequiredCells(t *testing.T) {
 		t.Errorf("anchors %v miss the required cell", dep.Anchors)
 	}
 	// The constrained run can never beat the free run.
-	free, err := Approx(in, Options{S: 2, Workers: 1})
+	free, err := Approx(context.Background(), in, Options{S: 2, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

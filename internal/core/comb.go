@@ -1,5 +1,13 @@
 package core
 
+// Combination enumeration for the anchor-subset search. Everything in this
+// file is a pure function of (m, s, index) — unranking, colex stepping — or
+// of (seed, index) for sampling, where sampleCombination's caller reseeds
+// the RNG per index. That purity is a load-bearing property of the
+// run-control layer: a Checkpoint records only a cursor (and Options.Seed),
+// never RNG internals, because replaying any index from scratch yields the
+// same subset no matter which worker, chunk, or resumed run asks for it.
+
 import (
 	"fmt"
 	"math/rand"

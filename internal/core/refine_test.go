@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -24,7 +25,7 @@ func TestRefineAssignmentPreservesServedAndLowersPathloss(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dep, err := Approx(in, Options{S: 2, Workers: 1})
+	dep, err := Approx(context.Background(), in, Options{S: 2, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// RunStatus tags how an Approx run ended.
+type RunStatus string
+
+const (
+	// StatusComplete marks a run that exhausted the whole enumeration: the
+	// deployment carries the paper's full approximation guarantee.
+	StatusComplete RunStatus = "complete"
+	// StatusStopped marks a run cut short — by context cancellation, a
+	// deadline, or Options.StopAfter. The deployment is the best found so
+	// far (possibly empty) and its Checkpoint field resumes the run.
+	StatusStopped RunStatus = "stopped"
+)
+
+// Progress is a point-in-time snapshot of a running enumeration, delivered
+// to the Options.Progress hook from a monitor goroutine and once more,
+// synchronously, just before Approx returns.
+type Progress struct {
+	// Done counts the enumeration indices fully processed so far, including
+	// any prefix covered by a resumed checkpoint. Done = Evaluated + Pruned.
+	Done int64
+	// Total is the full enumeration size for this run (C(m, s), or
+	// MaxSubsets when sampling).
+	Total int64
+	// Evaluated and Pruned split Done into subsets actually scored and
+	// subsets skipped by the sound pruning rule.
+	Evaluated, Pruned int64
+	// BestServed is the served-user count of the best subset found so far,
+	// or 0 while no feasible subset has been seen.
+	BestServed int
+	// Elapsed is the wall-clock time since this Approx call started (a
+	// resumed run's clock restarts at zero).
+	Elapsed time.Duration
+	// ETA estimates the remaining wall-clock time from the observed
+	// processing rate of this run; zero until the rate is measurable.
+	ETA time.Duration
+}
+
+// Checkpoint freezes a stopped enumeration so a later run can resume it via
+// Options.Resume and finish with a deployment byte-identical to an
+// uninterrupted run. It is valid because the enumeration is deterministic in
+// (Seed, index): workers claim contiguous chunks from an atomic cursor and
+// always finish a claimed chunk before honoring cancellation, so the
+// processed indices form the exact prefix [0, Cursor) and the sampling RNG
+// needs no state beyond Seed (each index reseeds it — see subsetSource).
+type Checkpoint struct {
+	// Algorithm is always "approAlg"; resuming rejects anything else.
+	Algorithm string `json:"algorithm"`
+	// ScenarioFingerprint guards against resuming on a different scenario.
+	ScenarioFingerprint uint64 `json:"scenario_fingerprint"`
+	// S is the effective anchor-subset size (after clamping to K and m).
+	S int `json:"s"`
+	// Seed, MaxSubsets, DisablePrune, GroundLeftovers, and RequiredCells
+	// echo the options that shape the enumeration and its counters; resuming
+	// under different values would silently change the result, so they must
+	// match exactly.
+	Seed            int64 `json:"seed"`
+	MaxSubsets      int   `json:"max_subsets,omitempty"`
+	DisablePrune    bool  `json:"disable_prune,omitempty"`
+	GroundLeftovers bool  `json:"ground_leftovers,omitempty"`
+	RequiredCells   []int `json:"required_cells,omitempty"`
+	// Total is the enumeration size; Sampled records whether indices name
+	// random draws rather than colex combinations.
+	Total   int64 `json:"total_subsets"`
+	Sampled bool  `json:"sampled,omitempty"`
+	// Cursor is the exact processed frontier: every index < Cursor has been
+	// evaluated or pruned, no index >= Cursor has.
+	Cursor int64 `json:"cursor"`
+	// Evaluated and Pruned are the counter values over [0, Cursor).
+	Evaluated int64 `json:"evaluated"`
+	Pruned    int64 `json:"pruned"`
+	// Best is the best feasible subset over [0, Cursor), or nil if none.
+	Best *CheckpointBest `json:"best,omitempty"`
+}
+
+// CheckpointBest is the winning subsetResult of the processed prefix.
+type CheckpointBest struct {
+	// Idx is the subset's enumeration index (the deterministic tie-break).
+	Idx int64 `json:"idx"`
+	// Served is the number of users the subset's placement serves.
+	Served int `json:"served"`
+	// Locs is the location per capacity-sorted UAV slot.
+	Locs []int `json:"locs"`
+	// NSel is the prefix of Locs chosen by the M1 /\ M2 greedy phase.
+	NSel int `json:"nsel"`
+}
+
+// Marshal serializes the checkpoint as indented JSON.
+func (c *Checkpoint) Marshal() ([]byte, error) {
+	return json.MarshalIndent(c, "", "  ")
+}
+
+// UnmarshalCheckpoint parses a checkpoint previously produced by Marshal.
+func UnmarshalCheckpoint(data []byte) (*Checkpoint, error) {
+	var c Checkpoint
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("core: bad checkpoint: %w", err)
+	}
+	if c.Algorithm != "approAlg" {
+		return nil, fmt.Errorf("core: checkpoint is for algorithm %q, not approAlg", c.Algorithm)
+	}
+	return &c, nil
+}
+
+// validate rejects a checkpoint that was not produced by an identical run:
+// same scenario, same effective options, same enumeration space. seed of
+// Options is passed through opts.
+func (c *Checkpoint) validate(in *Instance, s int, opts Options, total int64, sampled bool) error {
+	mismatch := func(field string, got, want any) error {
+		return fmt.Errorf("core: checkpoint does not match this run: %s is %v, checkpoint has %v", field, got, want)
+	}
+	if c.Algorithm != "approAlg" {
+		return fmt.Errorf("core: checkpoint is for algorithm %q, not approAlg", c.Algorithm)
+	}
+	if fp := in.Scenario.Fingerprint(); fp != c.ScenarioFingerprint {
+		// Hex, matching what uavgen prints for a scenario file.
+		return mismatch("scenario fingerprint", fmt.Sprintf("%016x", fp), fmt.Sprintf("%016x", c.ScenarioFingerprint))
+	}
+	if s != c.S {
+		return mismatch("s", s, c.S)
+	}
+	if opts.Seed != c.Seed {
+		return mismatch("seed", opts.Seed, c.Seed)
+	}
+	if opts.MaxSubsets != c.MaxSubsets {
+		return mismatch("max-subsets", opts.MaxSubsets, c.MaxSubsets)
+	}
+	if opts.DisablePrune != c.DisablePrune {
+		return mismatch("disable-prune", opts.DisablePrune, c.DisablePrune)
+	}
+	if opts.GroundLeftovers != c.GroundLeftovers {
+		return mismatch("ground-leftovers", opts.GroundLeftovers, c.GroundLeftovers)
+	}
+	if len(opts.RequiredCells) != len(c.RequiredCells) {
+		return mismatch("required cells", opts.RequiredCells, c.RequiredCells)
+	}
+	for i, cell := range opts.RequiredCells {
+		if cell != c.RequiredCells[i] {
+			return mismatch("required cells", opts.RequiredCells, c.RequiredCells)
+		}
+	}
+	if total != c.Total {
+		return mismatch("total subsets", total, c.Total)
+	}
+	if sampled != c.Sampled {
+		return mismatch("sampled", sampled, c.Sampled)
+	}
+	if c.Cursor < 0 || c.Cursor > total {
+		return fmt.Errorf("core: checkpoint cursor %d out of range [0, %d]", c.Cursor, total)
+	}
+	if c.Best != nil && (c.Best.Idx < 0 || c.Best.Idx >= c.Cursor) {
+		return fmt.Errorf("core: checkpoint best index %d outside processed prefix [0, %d)", c.Best.Idx, c.Cursor)
+	}
+	return nil
+}
+
+// newCheckpoint freezes the state of a stopped run. best.idx < 0 means no
+// feasible subset was found in the processed prefix.
+func newCheckpoint(in *Instance, s int, opts Options, total int64, sampled bool, cursor, evaluated, pruned int64, best subsetResult) *Checkpoint {
+	c := &Checkpoint{
+		Algorithm:           "approAlg",
+		ScenarioFingerprint: in.Scenario.Fingerprint(),
+		S:                   s,
+		Seed:                opts.Seed,
+		MaxSubsets:          opts.MaxSubsets,
+		DisablePrune:        opts.DisablePrune,
+		GroundLeftovers:     opts.GroundLeftovers,
+		RequiredCells:       append([]int(nil), opts.RequiredCells...),
+		Total:               total,
+		Sampled:             sampled,
+		Cursor:              cursor,
+		Evaluated:           evaluated,
+		Pruned:              pruned,
+	}
+	if best.idx >= 0 {
+		c.Best = &CheckpointBest{
+			Idx:    best.idx,
+			Served: best.served,
+			Locs:   append([]int(nil), best.locs...),
+			NSel:   best.nsel,
+		}
+	}
+	return c
+}

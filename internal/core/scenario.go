@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 
 	"github.com/uav-coverage/uavnet/internal/channel"
@@ -87,6 +88,22 @@ func (sc *Scenario) Validate() error {
 		}
 	}
 	return nil
+}
+
+// Fingerprint returns a 64-bit FNV-1a hash over every field that shapes the
+// optimization problem: grid, ranges, channel parameters, users, and fleet.
+// Checkpoints embed it so a resumed run provably targets the same scenario;
+// it is a content hash, not a cryptographic commitment.
+func (sc *Scenario) Fingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%v|%v|%v|", sc.Grid, sc.UAVRange, sc.Channel)
+	for _, u := range sc.Users {
+		fmt.Fprintf(h, "u%v,%v,%v;", u.Pos.X, u.Pos.Y, u.MinRateBps)
+	}
+	for _, u := range sc.UAVs {
+		fmt.Fprintf(h, "k%s,%d,%v,%v;", u.Name, u.Capacity, u.Tx, u.UserRange)
+	}
+	return h.Sum64()
 }
 
 // K returns the number of UAVs.

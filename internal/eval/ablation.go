@@ -54,7 +54,7 @@ func Ablation(cfg Config) (*Series, error) {
 				opts.MaxSubsets = cfg.MaxSubsets
 			}
 			start := time.Now()
-			dep, err := core.Approx(in, opts)
+			dep, err := core.Approx(cfg.context(), in, opts)
 			if err != nil {
 				return nil, fmt.Errorf("eval: ablation %s: %w", v.name, err)
 			}
@@ -100,7 +100,10 @@ func totalSubsets(m, s int) int64 {
 // capacity-oblivious baseline should widen with the spread.
 func Heterogeneity(cfg Config, spreads []float64) (*Series, error) {
 	cfg = cfg.withDefaults()
-	algs := Algorithms(cfg.S, cfg.Workers, cfg.MaxSubsets)
+	algs, err := Algorithms(cfg.S, cfg.Workers, cfg.MaxSubsets)
+	if err != nil {
+		return nil, err
+	}
 	return sweep(cfg, "Extension: served users vs fleet capacity spread", "spread", spreads, algs,
 		func(p Params, x float64) Params {
 			p = p.WithDefaults()

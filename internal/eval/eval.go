@@ -6,6 +6,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -122,10 +123,12 @@ func BuildInstance(p Params) (*core.Instance, error) {
 	return core.NewInstance(sc)
 }
 
-// Algorithm is one competitor in an experiment.
+// Algorithm is one competitor in an experiment. Run honors its context for
+// approAlg (cancellation stops the enumeration mid-run); baselines check it
+// only between runs.
 type Algorithm struct {
 	Name string
-	Run  func(*core.Instance) (*core.Deployment, error)
+	Run  func(context.Context, *core.Instance) (*core.Deployment, error)
 }
 
 // ApproAlg wraps core.Approx with fixed options under the paper's name.
@@ -133,8 +136,8 @@ type Algorithm struct {
 func ApproAlg(s, workers, maxSubsets int, literal bool) Algorithm {
 	return Algorithm{
 		Name: "approAlg",
-		Run: func(in *core.Instance) (*core.Deployment, error) {
-			return core.Approx(in, core.Options{
+		Run: func(ctx context.Context, in *core.Instance) (*core.Deployment, error) {
+			return core.Approx(ctx, in, core.Options{
 				S: s, Workers: workers, MaxSubsets: maxSubsets, GroundLeftovers: literal,
 			})
 		},
@@ -142,21 +145,40 @@ func ApproAlg(s, workers, maxSubsets int, literal bool) Algorithm {
 }
 
 // Algorithms returns approAlg followed by the paper's four baselines.
-func Algorithms(s, workers, maxSubsets int) []Algorithm {
+func Algorithms(s, workers, maxSubsets int) ([]Algorithm, error) {
 	return AlgorithmsLiteral(s, workers, maxSubsets, false)
 }
 
 // AlgorithmsLiteral is Algorithms with an explicit pseudocode-exact switch.
-func AlgorithmsLiteral(s, workers, maxSubsets int, literal bool) []Algorithm {
+func AlgorithmsLiteral(s, workers, maxSubsets int, literal bool) ([]Algorithm, error) {
+	return algorithmsForNames(baseline.Names(), s, workers, maxSubsets, literal)
+}
+
+// algorithmsForNames assembles approAlg plus the named baselines; an
+// unknown baseline name surfaces as an error rather than a panic, so a
+// harness misconfiguration fails the run instead of crashing the process.
+func algorithmsForNames(names []string, s, workers, maxSubsets int, literal bool) ([]Algorithm, error) {
 	algs := []Algorithm{ApproAlg(s, workers, maxSubsets, literal)}
-	for _, name := range baseline.Names() {
+	for _, name := range names {
 		run, err := baseline.ByName(name)
-		if err != nil { // unreachable: Names and ByName are consistent
-			panic(err)
+		if err != nil {
+			return nil, fmt.Errorf("eval: %w", err)
 		}
-		algs = append(algs, Algorithm{Name: name, Run: run})
+		algs = append(algs, Algorithm{Name: name, Run: adaptBaseline(run)})
 	}
-	return algs
+	return algs, nil
+}
+
+// adaptBaseline lifts a context-free baseline into the Algorithm contract:
+// the context is checked once up front, which is all a single-pass
+// heuristic needs for a sweep to stop between runs.
+func adaptBaseline(run func(*core.Instance) (*core.Deployment, error)) func(context.Context, *core.Instance) (*core.Deployment, error) {
+	return func(ctx context.Context, in *core.Instance) (*core.Deployment, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return run(in)
+	}
 }
 
 // Point is one x-position of a series: per-algorithm mean served users,
@@ -195,6 +217,10 @@ type Config struct {
 	Seeds []int64
 	// Progress, when non-nil, receives one line per completed run.
 	Progress func(format string, args ...any)
+	// Context, when non-nil, bounds the whole experiment: cancellation or a
+	// deadline stops the current approAlg run mid-enumeration and aborts
+	// the sweep with the context's error. Nil means context.Background().
+	Context context.Context
 }
 
 func (c Config) withDefaults() Config {
@@ -213,11 +239,19 @@ func (c Config) progress(format string, args ...any) {
 	}
 }
 
+func (c Config) context() context.Context {
+	if c.Context != nil {
+		return c.Context
+	}
+	return context.Background()
+}
+
 // sweep runs all algorithms at each x-value, with mutate applying x to the
 // parameters, and averages over the configured seeds.
 func sweep(cfg Config, title, xLabel string, xs []float64, algs []Algorithm,
 	mutate func(Params, float64) Params) (*Series, error) {
 	cfg = cfg.withDefaults()
+	ctx := cfg.context()
 	series := &Series{Title: title, XLabel: xLabel}
 	for _, a := range algs {
 		series.Algorithms = append(series.Algorithms, a.Name)
@@ -239,7 +273,7 @@ func sweep(cfg Config, title, xLabel string, xs []float64, algs []Algorithm,
 			}
 			for _, alg := range algs {
 				start := time.Now()
-				dep, err := alg.Run(in)
+				dep, err := alg.Run(ctx, in)
 				if err != nil {
 					return nil, fmt.Errorf("eval: %s at %s=%g: %w", alg.Name, xLabel, x, err)
 				}
@@ -273,7 +307,10 @@ func sweep(cfg Config, title, xLabel string, xs []float64, algs []Algorithm,
 func Fig4(cfg Config, ks []int) (*Series, error) {
 	cfg = cfg.withDefaults()
 	xs := toFloats(ks)
-	algs := AlgorithmsLiteral(cfg.S, cfg.Workers, cfg.MaxSubsets, cfg.Literal)
+	algs, err := AlgorithmsLiteral(cfg.S, cfg.Workers, cfg.MaxSubsets, cfg.Literal)
+	if err != nil {
+		return nil, err
+	}
 	return sweep(cfg, "Fig. 4: served users vs number of UAVs", "K", xs, algs,
 		func(p Params, x float64) Params { p.K = int(x); return p })
 }
@@ -283,7 +320,10 @@ func Fig4(cfg Config, ks []int) (*Series, error) {
 func Fig5(cfg Config, ns []int) (*Series, error) {
 	cfg = cfg.withDefaults()
 	xs := toFloats(ns)
-	algs := AlgorithmsLiteral(cfg.S, cfg.Workers, cfg.MaxSubsets, cfg.Literal)
+	algs, err := AlgorithmsLiteral(cfg.S, cfg.Workers, cfg.MaxSubsets, cfg.Literal)
+	if err != nil {
+		return nil, err
+	}
 	return sweep(cfg, "Fig. 5: served users vs number of users", "n", xs, algs,
 		func(p Params, x float64) Params { p.N = int(x); return p })
 }
@@ -297,7 +337,10 @@ func Fig6(cfg Config, ss []int) (*Series, error) {
 	var pts []Point
 	series := &Series{Title: "Fig. 6: quality and running time vs s", XLabel: "s"}
 	for _, s := range ss {
-		algs := AlgorithmsLiteral(s, cfg.Workers, cfg.MaxSubsets, cfg.Literal)
+		algs, err := AlgorithmsLiteral(s, cfg.Workers, cfg.MaxSubsets, cfg.Literal)
+		if err != nil {
+			return nil, err
+		}
 		if series.Algorithms == nil {
 			for _, a := range algs {
 				series.Algorithms = append(series.Algorithms, a.Name)

@@ -1,6 +1,8 @@
 package eval
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -66,7 +68,10 @@ func TestBuildInstanceDeterministic(t *testing.T) {
 }
 
 func TestAlgorithmsList(t *testing.T) {
-	algs := Algorithms(2, 1, 0)
+	algs, err := Algorithms(2, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := []string{"approAlg", "MCS", "MotionCtrl", "GreedyAssign", "maxThroughput"}
 	if len(algs) != len(want) {
 		t.Fatalf("got %d algorithms", len(algs))
@@ -75,6 +80,30 @@ func TestAlgorithmsList(t *testing.T) {
 		if a.Name != want[i] {
 			t.Errorf("algorithm %d = %s, want %s", i, a.Name, want[i])
 		}
+	}
+}
+
+func TestAlgorithmsUnknownBaselineError(t *testing.T) {
+	// The failure path that used to panic inside library code: an unknown
+	// baseline name must surface as an error naming the baseline.
+	algs, err := algorithmsForNames([]string{"MCS", "no-such-alg"}, 2, 1, 0, false)
+	if err == nil {
+		t.Fatal("unknown baseline should fail, got none")
+	}
+	if algs != nil {
+		t.Errorf("failed assembly should return no algorithms, got %d", len(algs))
+	}
+	if !strings.Contains(err.Error(), "no-such-alg") {
+		t.Errorf("error should name the unknown baseline: %v", err)
+	}
+}
+
+func TestSweepHonorsCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Config{Base: quickParams(), S: 2, Workers: 2, Context: ctx}
+	if _, err := Fig4(cfg, []int{2}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled sweep returned %v, want context.Canceled", err)
 	}
 }
 

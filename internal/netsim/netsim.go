@@ -56,8 +56,13 @@ type StationStats struct {
 	// Completed is the number of requests finished after warm-up.
 	Completed int64
 	// MeanSojournSec is the average request time-in-system (queue + service).
+	// It is NaN when the station completed no requests after warm-up (no
+	// attached users, or every completion landed inside the warm-up window):
+	// "no data" must not read as zero latency. Check with math.IsNaN or
+	// Completed > 0 before aggregating.
 	MeanSojournSec float64
-	// P99SojournSec is the 99th-percentile time-in-system.
+	// P99SojournSec is the 99th-percentile time-in-system. NaN under the
+	// same no-sample condition as MeanSojournSec.
 	P99SojournSec float64
 	// ThroughputRps is completions per second after warm-up.
 	ThroughputRps float64
@@ -177,14 +182,22 @@ func Simulate(loads []int, cfg Config) ([]StationStats, error) {
 			}
 			stats[k].MeanSojournSec = sum / float64(n)
 			stats[k].P99SojournSec = percentile(sojourns[k], 0.99)
+		} else {
+			// No post-warm-up completions: a zero here would read as
+			// "great latency" — report NaN instead (see StationStats).
+			stats[k].MeanSojournSec = math.NaN()
+			stats[k].P99SojournSec = math.NaN()
 		}
 	}
 	return stats, nil
 }
 
-// percentile returns the p-quantile (0 < p <= 1) of xs by nearest-rank on a
-// sorted copy.
+// percentile returns the p-quantile of xs by nearest-rank on a sorted copy.
+// p outside (0, 1] or an empty sample has no defined quantile: NaN.
 func percentile(xs []float64, p float64) float64 {
+	if p <= 0 || p > 1 || len(xs) == 0 {
+		return math.NaN()
+	}
 	cp := append([]float64(nil), xs...)
 	sort.Float64s(cp)
 	idx := int(math.Ceil(p*float64(len(cp)))) - 1
@@ -211,9 +224,18 @@ func TheoreticalMeanSojourn(users int, cfg Config) float64 {
 // StableCapacity returns the largest user count a station can carry while
 // keeping utilization at or below the target rho (e.g. 0.8): the queueing
 // rationale behind the paper's service capacities C_k.
+//
+// The quotient targetRho*ServiceRate/ArrivalRatePerUser is floored with an
+// epsilon: plain int(...) truncation turned float rounding error (e.g. a
+// mathematically-exact 7 computing as 6.999999999) into an off-by-one
+// under-report of the capacity.
 func StableCapacity(cfg Config, targetRho float64) int {
-	if targetRho <= 0 {
+	if targetRho <= 0 || cfg.ServiceRate <= 0 || cfg.ArrivalRatePerUser <= 0 {
 		return 0
 	}
-	return int(targetRho * cfg.ServiceRate / cfg.ArrivalRatePerUser)
+	q := targetRho * cfg.ServiceRate / cfg.ArrivalRatePerUser
+	// Absolute + relative epsilon: the absolute term handles small
+	// quotients, the relative term keeps the nudge proportionate when q is
+	// large enough that 1e-9 is below its ulp.
+	return int(math.Floor(q + 1e-9 + q*1e-12))
 }

@@ -105,11 +105,19 @@ func TestSimulateEmptyStations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats[0].Completed != 0 || stats[0].MeanSojournSec != 0 {
-		t.Errorf("idle station has stats %+v", stats[0])
+	if stats[0].Completed != 0 {
+		t.Errorf("idle station completed %d requests", stats[0].Completed)
+	}
+	// No completions means no latency sample: zero would read as a perfect
+	// station, so the stats must be NaN.
+	if !math.IsNaN(stats[0].MeanSojournSec) || !math.IsNaN(stats[0].P99SojournSec) {
+		t.Errorf("idle station sojourn stats not NaN: %+v", stats[0])
 	}
 	if stats[1].Completed == 0 {
 		t.Error("loaded station completed nothing")
+	}
+	if math.IsNaN(stats[1].MeanSojournSec) {
+		t.Error("loaded station should carry a real mean sojourn")
 	}
 }
 
@@ -169,6 +177,35 @@ func TestStableCapacity(t *testing.T) {
 	if got := StableCapacity(cfg, 0); got != 0 {
 		t.Errorf("StableCapacity(0) = %d", got)
 	}
+	bad := cfg
+	bad.ServiceRate = 0
+	if got := StableCapacity(bad, 0.8); got != 0 {
+		t.Errorf("StableCapacity with zero service rate = %d", got)
+	}
+	bad = cfg
+	bad.ArrivalRatePerUser = 0
+	if got := StableCapacity(bad, 0.8); got != 0 {
+		t.Errorf("StableCapacity with zero arrival rate = %d", got)
+	}
+}
+
+func TestStableCapacityFloatBoundary(t *testing.T) {
+	// The regression this guards: 0.7*1/0.1 computes as 6.999999999999999 in
+	// float64, and plain int(...) truncation reported capacity 6 instead of 7.
+	cfg := Config{ArrivalRatePerUser: 0.1, ServiceRate: 1}
+	if got := StableCapacity(cfg, 0.7); got != 7 {
+		t.Errorf("StableCapacity(0.7*1/0.1) = %d, want 7", got)
+	}
+	// A genuinely fractional quotient must still floor, not round up:
+	// 0.65 * 1 / 0.1 = 6.5 -> 6.
+	if got := StableCapacity(cfg, 0.65); got != 6 {
+		t.Errorf("StableCapacity(6.5) = %d, want 6", got)
+	}
+	// Large exact quotients stay exact.
+	big := Config{ArrivalRatePerUser: 1, ServiceRate: 1e7}
+	if got := StableCapacity(big, 0.8); got != 8_000_000 {
+		t.Errorf("StableCapacity(8e6) = %d", got)
+	}
 }
 
 func TestPercentile(t *testing.T) {
@@ -185,5 +222,17 @@ func TestPercentile(t *testing.T) {
 	// Input must not be mutated.
 	if xs[0] != 5 {
 		t.Error("percentile mutated its input")
+	}
+}
+
+func TestPercentileRejectsBadInput(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	for _, p := range []float64{0, -0.5, 1.0000001, 2} {
+		if got := percentile(xs, p); !math.IsNaN(got) {
+			t.Errorf("percentile(p=%g) = %g, want NaN", p, got)
+		}
+	}
+	if got := percentile(nil, 0.5); !math.IsNaN(got) {
+		t.Errorf("percentile(empty) = %g, want NaN", got)
 	}
 }

@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -84,8 +85,9 @@ type DiffResult struct {
 // by seed, checks every returned deployment against the oracle, and
 // cross-checks approAlg against the Theorem 1 ratio. It returns the
 // per-algorithm results; any oracle violation or broken guarantee comes
-// back as an error naming the seed so the failure replays exactly.
-func Differential(seed int64) ([]DiffResult, error) {
+// back as an error naming the seed so the failure replays exactly. The
+// context bounds the approAlg run (long fuzz campaigns abort cleanly).
+func Differential(ctx context.Context, seed int64) ([]DiffResult, error) {
 	r := rand.New(rand.NewSource(seed))
 	sc, err := RandomScenario(r)
 	if err != nil {
@@ -110,7 +112,7 @@ func Differential(seed int64) ([]DiffResult, error) {
 		return nil
 	}
 
-	apx, err := core.Approx(in, core.Options{S: s, Workers: 2})
+	apx, err := core.Approx(ctx, in, core.Options{S: s, Workers: 2})
 	if err != nil {
 		return nil, fmt.Errorf("seed %d: approAlg: %w", seed, err)
 	}

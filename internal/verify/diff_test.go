@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -21,7 +22,7 @@ func TestDifferentialRandomScenarios(t *testing.T) {
 		seed := seed
 		t.Run("", func(t *testing.T) {
 			t.Parallel()
-			results, err := Differential(seed)
+			results, err := Differential(context.Background(), seed)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"testing"
 
 	"github.com/uav-coverage/uavnet/internal/baseline"
@@ -32,7 +33,7 @@ func FuzzDeployment(f *testing.F) {
 		if s > sc.K() {
 			s = sc.K()
 		}
-		dep, err := core.Approx(in, core.Options{S: s, Workers: 2})
+		dep, err := core.Approx(context.Background(), in, core.Options{S: s, Workers: 2})
 		if err != nil {
 			return // infeasible (e.g. disconnected grid): a typed error is fine
 		}

@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -35,11 +36,11 @@ func TestOracleEquivalence(t *testing.T) {
 			if s > sc.K() {
 				s = sc.K()
 			}
-			fast, err := core.Approx(in, core.Options{S: s, Workers: 2})
+			fast, err := core.Approx(context.Background(), in, core.Options{S: s, Workers: 2})
 			if err != nil {
 				t.Fatalf("seed %d: matcher oracle: %v", seed, err)
 			}
-			ref, err := core.Approx(in, core.Options{S: s, Workers: 2, ReferenceOracle: true})
+			ref, err := core.Approx(context.Background(), in, core.Options{S: s, Workers: 2, ReferenceOracle: true})
 			if err != nil {
 				t.Fatalf("seed %d: reference oracle: %v", seed, err)
 			}

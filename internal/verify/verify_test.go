@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -45,7 +46,7 @@ func mustInstance(t *testing.T, sc *core.Scenario) *core.Instance {
 
 func approxDeployment(t *testing.T, in *core.Instance) *core.Deployment {
 	t.Helper()
-	dep, err := core.Approx(in, core.Options{S: 2, Workers: 1})
+	dep, err := core.Approx(context.Background(), in, core.Options{S: 2, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+
+	"github.com/uav-coverage/uavnet/internal/core"
 )
 
 // scenarioFile is the on-disk JSON layout, versioned so future format
@@ -61,4 +63,59 @@ func LoadScenario(path string) (*Scenario, error) {
 		return nil, fmt.Errorf("uavnet: %w", err)
 	}
 	return UnmarshalScenario(data)
+}
+
+// SaveCheckpoint writes a stopped run's checkpoint to path as JSON, ready
+// for LoadCheckpoint and Options.Resume.
+func SaveCheckpoint(path string, cp *Checkpoint) error {
+	if cp == nil {
+		return fmt.Errorf("uavnet: nil checkpoint")
+	}
+	data, err := cp.Marshal()
+	if err != nil {
+		return fmt.Errorf("uavnet: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("uavnet: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint saved by SaveCheckpoint. Resuming
+// validates it against the scenario and options, so loading performs only
+// structural checks.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("uavnet: %w", err)
+	}
+	cp, err := core.UnmarshalCheckpoint(data)
+	if err != nil {
+		return nil, fmt.Errorf("uavnet: %w", err)
+	}
+	return cp, nil
+}
+
+// MarshalDeployment encodes a deployment as indented JSON. The encoding is
+// deterministic (struct fields, no maps) and excludes the transient
+// Checkpoint pointer, so an interrupted-then-resumed run and an
+// uninterrupted one marshal to identical bytes — the property the
+// resume-equivalence tests and the CI smoke job diff on.
+func MarshalDeployment(dep *Deployment) ([]byte, error) {
+	if dep == nil {
+		return nil, fmt.Errorf("uavnet: nil deployment")
+	}
+	return json.MarshalIndent(dep, "", "  ")
+}
+
+// SaveDeployment writes a deployment to path as JSON.
+func SaveDeployment(path string, dep *Deployment) error {
+	data, err := MarshalDeployment(dep)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("uavnet: %w", err)
+	}
+	return nil
 }

@@ -16,7 +16,9 @@ type (
 )
 
 // SimulateQueues runs the discrete-event queueing simulation with loads[k]
-// users attached to UAV k.
+// users attached to UAV k. Stations with no post-warm-up completions report
+// NaN sojourn statistics (see StationStats) — guard with Completed > 0 before
+// aggregating.
 func SimulateQueues(loads []int, cfg QueueConfig) ([]StationStats, error) {
 	return netsim.Simulate(loads, cfg)
 }

@@ -1,6 +1,7 @@
 package uavnet
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/uav-coverage/uavnet/internal/baseline"
@@ -57,21 +58,53 @@ func DefaultChannel() ChannelParams { return channel.DefaultParams() }
 // every algorithm (location graph, hop distances, eligibility lists).
 func NewInstance(sc *Scenario) (*Instance, error) { return core.NewInstance(sc) }
 
+// Run-control types, re-exported from internal/core. A stopped run returns
+// its best-so-far deployment tagged StatusStopped together with ctx.Err();
+// the deployment's Checkpoint field (re-loadable via LoadCheckpoint) resumes
+// it through Options.Resume.
+type (
+	// RunStatus tags how an approAlg run ended (StatusComplete or
+	// StatusStopped).
+	RunStatus = core.RunStatus
+	// RunProgress is the periodic snapshot delivered to Options.Progress.
+	RunProgress = core.Progress
+	// Checkpoint freezes a stopped approAlg run for later resumption.
+	Checkpoint = core.Checkpoint
+)
+
+// Run statuses.
+const (
+	StatusComplete = core.StatusComplete
+	StatusStopped  = core.StatusStopped
+)
+
 // Deploy runs the paper's approximation algorithm (Algorithm 2, approAlg)
 // and returns the best deployment found. The scenario is validated and
 // precomputed internally; to amortize precomputation across runs, use
 // NewInstance and DeployInstance.
 func Deploy(sc *Scenario, opts Options) (*Deployment, error) {
+	return DeployContext(context.Background(), sc, opts)
+}
+
+// DeployContext is Deploy under a context: on cancellation or deadline the
+// run stops promptly and returns the best-so-far deployment (Status
+// StatusStopped, resumable via its Checkpoint) together with ctx.Err().
+func DeployContext(ctx context.Context, sc *Scenario, opts Options) (*Deployment, error) {
 	in, err := core.NewInstance(sc)
 	if err != nil {
 		return nil, err
 	}
-	return core.Approx(in, opts)
+	return core.Approx(ctx, in, opts)
 }
 
 // DeployInstance is Deploy on a precomputed instance.
 func DeployInstance(in *Instance, opts Options) (*Deployment, error) {
-	return core.Approx(in, opts)
+	return core.Approx(context.Background(), in, opts)
+}
+
+// DeployInstanceContext is DeployContext on a precomputed instance.
+func DeployInstanceContext(ctx context.Context, in *Instance, opts Options) (*Deployment, error) {
+	return core.Approx(ctx, in, opts)
 }
 
 // AlgorithmNames lists every algorithm usable with DeployWith, the paper's
@@ -84,12 +117,22 @@ func AlgorithmNames() []string {
 // "MCS", "MotionCtrl", "GreedyAssign", "maxThroughput" — on the instance.
 // The opts apply to approAlg only.
 func DeployWith(name string, in *Instance, opts Options) (*Deployment, error) {
+	return DeployWithContext(context.Background(), name, in, opts)
+}
+
+// DeployWithContext is DeployWith under a context. Only approAlg supports
+// mid-run cancellation and checkpointing; the baselines are single-pass and
+// merely check the context before starting.
+func DeployWithContext(ctx context.Context, name string, in *Instance, opts Options) (*Deployment, error) {
 	if name == "approAlg" {
-		return core.Approx(in, opts)
+		return core.Approx(ctx, in, opts)
 	}
 	run, err := baseline.ByName(name)
 	if err != nil {
 		return nil, fmt.Errorf("uavnet: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return run(in)
 }
@@ -160,13 +203,19 @@ func GatewayReachable(in *Instance, dep *Deployment, gw Gateway) bool {
 // construction rather than patched afterwards. It fails if no candidate
 // cell lies within UAV range of the gateway.
 func DeployToGateway(in *Instance, gw Gateway, opts Options) (*Deployment, error) {
+	return DeployToGatewayContext(context.Background(), in, gw, opts)
+}
+
+// DeployToGatewayContext is DeployToGateway under a context (see
+// DeployContext for the stopped-run contract).
+func DeployToGatewayContext(ctx context.Context, in *Instance, gw Gateway, opts Options) (*Deployment, error) {
 	cells := in.GatewayCells(gw)
 	if len(cells) == 0 {
 		return nil, fmt.Errorf("uavnet: no candidate cell within %g m of the gateway",
 			in.Scenario.UAVRange)
 	}
 	opts.RequiredCells = cells
-	return core.Approx(in, opts)
+	return core.Approx(ctx, in, opts)
 }
 
 // RefineAssignment recomputes a deployment's user assignment so that it
