@@ -52,7 +52,7 @@ func DistGroundToAir(ground Point2, airXY Point2, altitude float64) float64 {
 // (0, 90]; it is 90 when the aerial point is directly overhead.
 func ElevationAngleDeg(ground Point2, airXY Point2, altitude float64) float64 {
 	horiz := Dist2(ground, airXY)
-	if horiz == 0 {
+	if horiz == 0 { //uavlint:allow floatcast -- exact-zero sentinel: Dist2 returns +0 only for coincident points
 		return 90
 	}
 	return math.Atan2(altitude, horiz) * 180 / math.Pi
@@ -152,13 +152,20 @@ func (g Grid) Clamp(p Point2) Point2 {
 // CellOf returns the linear index of the cell containing the planar point p,
 // clamping p into the area first. Points exactly on the max boundary map to
 // the last cell.
+//
+// The quotients are floored with an epsilon rather than truncated: a point
+// whose coordinate sits mathematically on a cell boundary k*Side can compute
+// as k - 1e-12 in floating point, and plain int(...) would then charge it to
+// cell k-1 — the same truncation class as the netsim.StableCapacity
+// off-by-one. Boundary points belong to the upper cell by convention, so the
+// epsilon only restores the intended attribution.
 func (g Grid) CellOf(p Point2) int {
 	p = g.Clamp(p)
-	col := int(p.X / g.Side)
+	col := int(math.Floor(p.X/g.Side + 1e-9))
 	if col >= g.Cols() {
 		col = g.Cols() - 1
 	}
-	row := int(p.Y / g.Side)
+	row := int(math.Floor(p.Y/g.Side + 1e-9))
 	if row >= g.Rows() {
 		row = g.Rows() - 1
 	}

