@@ -186,9 +186,9 @@ func (a subsetResult) better(b subsetResult) bool {
 // nil ctx is treated as context.Background().
 func Approx(ctx context.Context, in *Instance, opts Options) (*Deployment, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //uavlint:allow ctxthread -- nil-ctx normalization at the API boundary
 	}
-	start := time.Now()
+	start := time.Now() //uavlint:allow timenow -- progress/ETA clock; never feeds a solver decision
 	opts = opts.withDefaults()
 	sc := in.Scenario
 	k, m := sc.K(), sc.M()
@@ -365,7 +365,7 @@ func Approx(ctx context.Context, in *Instance, opts Options) (*Deployment, error
 			Evaluated:  evaluated,
 			Pruned:     done - evaluated,
 			BestServed: int(bestServed),
-			Elapsed:    time.Since(start),
+			Elapsed:    time.Since(start), //uavlint:allow timenow -- progress snapshot output only
 		}
 		if newDone := done - startCursor; newDone > 0 && done < total {
 			p.ETA = time.Duration(float64(p.Elapsed) / float64(newDone) * float64(total-done))

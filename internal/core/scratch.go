@@ -19,6 +19,8 @@ import (
 // The masks are cleared by their users after each subset (node lists are
 // short); the claim tables use epoch stamping so they are never cleared at
 // all. One scratch must not be shared between goroutines.
+//
+//uavlint:scratch epoch=epoch tables=claimed,used
 type evalScratch struct {
 	// BFS from the anchor set (matroid M2 distances).
 	dist  []int

@@ -53,12 +53,12 @@ func Ablation(cfg Config) (*Series, error) {
 			} else if cfg.MaxSubsets > 0 {
 				opts.MaxSubsets = cfg.MaxSubsets
 			}
-			start := time.Now()
+			start := time.Now() //uavlint:allow timenow -- elapsed-time metric is the harness's output
 			dep, err := core.Approx(cfg.context(), in, opts)
 			if err != nil {
 				return nil, fmt.Errorf("eval: ablation %s: %w", v.name, err)
 			}
-			elapsed := time.Since(start)
+			elapsed := time.Since(start) //uavlint:allow timenow -- elapsed-time metric is the harness's output
 			pt.Served[v.name] += float64(dep.Served)
 			pt.Elapsed[v.name] += elapsed
 			cfg.progress("ablation %s: seed=%d served=%d elapsed=%s",

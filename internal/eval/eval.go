@@ -243,7 +243,7 @@ func (c Config) context() context.Context {
 	if c.Context != nil {
 		return c.Context
 	}
-	return context.Background()
+	return context.Background() //uavlint:allow ctxthread -- nil-ctx normalization at the API boundary
 }
 
 // sweep runs all algorithms at each x-value, with mutate applying x to the
@@ -272,12 +272,12 @@ func sweep(cfg Config, title, xLabel string, xs []float64, algs []Algorithm,
 				return nil, err
 			}
 			for _, alg := range algs {
-				start := time.Now()
+				start := time.Now() //uavlint:allow timenow -- elapsed-time metric is the harness's output
 				dep, err := alg.Run(ctx, in)
 				if err != nil {
 					return nil, fmt.Errorf("eval: %s at %s=%g: %w", alg.Name, xLabel, x, err)
 				}
-				elapsed := time.Since(start)
+				elapsed := time.Since(start) //uavlint:allow timenow -- elapsed-time metric is the harness's output
 				pt.Served[alg.Name] += float64(dep.Served)
 				sumSq[alg.Name] += float64(dep.Served) * float64(dep.Served)
 				pt.Elapsed[alg.Name] += elapsed

@@ -45,6 +45,8 @@ type journalEntry struct {
 // fixed user population, mirroring assign.Evaluator's contract: Gain answers
 // what-if queries without mutating committed state, Commit realizes one.
 // A Matcher must not be shared between goroutines.
+//
+//uavlint:scratch epoch=epoch tables=visited
 type Matcher struct {
 	numUsers int
 	maxSlots int

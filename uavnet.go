@@ -82,6 +82,8 @@ const (
 // and returns the best deployment found. The scenario is validated and
 // precomputed internally; to amortize precomputation across runs, use
 // NewInstance and DeployInstance.
+//
+//uavlint:allow ctxthread -- compatibility shim: ctx-less callers get a fresh root, DeployContext is the threaded path
 func Deploy(sc *Scenario, opts Options) (*Deployment, error) {
 	return DeployContext(context.Background(), sc, opts)
 }
@@ -98,6 +100,8 @@ func DeployContext(ctx context.Context, sc *Scenario, opts Options) (*Deployment
 }
 
 // DeployInstance is Deploy on a precomputed instance.
+//
+//uavlint:allow ctxthread -- compatibility shim: ctx-less callers get a fresh root, DeployInstanceContext is the threaded path
 func DeployInstance(in *Instance, opts Options) (*Deployment, error) {
 	return core.Approx(context.Background(), in, opts)
 }
@@ -116,6 +120,8 @@ func AlgorithmNames() []string {
 // DeployWith runs the named algorithm — "approAlg" or one of the baselines
 // "MCS", "MotionCtrl", "GreedyAssign", "maxThroughput" — on the instance.
 // The opts apply to approAlg only.
+//
+//uavlint:allow ctxthread -- compatibility shim: ctx-less callers get a fresh root, DeployWithContext is the threaded path
 func DeployWith(name string, in *Instance, opts Options) (*Deployment, error) {
 	return DeployWithContext(context.Background(), name, in, opts)
 }
@@ -202,6 +208,8 @@ func GatewayReachable(in *Instance, dep *Deployment, gw Gateway) bool {
 // are injected as required anchors, so reachability is guaranteed by
 // construction rather than patched afterwards. It fails if no candidate
 // cell lies within UAV range of the gateway.
+//
+//uavlint:allow ctxthread -- compatibility shim: ctx-less callers get a fresh root, DeployToGatewayContext is the threaded path
 func DeployToGateway(in *Instance, gw Gateway, opts Options) (*Deployment, error) {
 	return DeployToGatewayContext(context.Background(), in, gw, opts)
 }
