@@ -1,0 +1,81 @@
+// Command uavlint is the repo's multichecker: it runs the
+// internal/analysis suite (detorder, floatcast, ctxthread, epochscratch,
+// timenow) over the module and fails on any diagnostic. CI runs it in the
+// static-analysis job; locally:
+//
+//	go run ./cmd/uavlint ./...
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 usage or load failure.
+// Suppress a sanctioned site with a //uavlint:allow <analyzer> -- reason
+// comment (same line, line above, or function doc); see DESIGN.md §11.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/uav-coverage/uavnet/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("uavlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	dir := fs.String("C", ".", "directory to resolve package patterns from")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: uavlint [flags] [packages]\n\nRepo-specific analyzers enforcing determinism, context, and float-safety\ninvariants (DESIGN.md §11).\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := analysis.All()
+	if *only != "" {
+		var err error
+		analyzers, err = analysis.ByName(strings.Split(*only, ","))
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-13s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.LoadPackages(*dir, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	bad := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunPackage(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(stderr, "uavlint: %d diagnostic(s)\n", bad)
+		return 1
+	}
+	return 0
+}

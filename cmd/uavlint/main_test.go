@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestModuleIsClean is the self-test the CI job relies on: the suite must
+// exit 0 over the repo's own tree. Any new violation fails here (and in the
+// static-analysis job) with the offending position.
+func TestModuleIsClean(t *testing.T) {
+	t.Parallel()
+	var out, errb strings.Builder
+	if code := run([]string{"-C", "../..", "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("uavlint over the module: exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+}
+
+// TestSeededViolationFails proves the driver turns a diagnostic into a
+// non-zero exit: a throwaway module with a global-rand call must fail.
+func TestSeededViolationFails(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example.com/lintme\n\ngo 1.22\n")
+	write("lib.go", "package lintme\n\nimport \"math/rand\"\n\nfunc Roll() int { return rand.Intn(6) }\n")
+	var out, errb strings.Builder
+	code := run([]string{"-C", dir, "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("expected exit 1 on seeded violation, got %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "rand.Intn") || !strings.Contains(out.String(), "(detorder)") {
+		t.Fatalf("diagnostic should name rand.Intn and the detorder analyzer, got:\n%s", out.String())
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	t.Parallel()
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list: exit %d, stderr %s", code, errb.String())
+	}
+	for _, name := range []string{"detorder", "floatcast", "ctxthread", "epochscratch", "timenow"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzerRejected(t *testing.T) {
+	t.Parallel()
+	var out, errb strings.Builder
+	if code := run([]string{"-only", "nosuch"}, &out, &errb); code != 2 {
+		t.Fatalf("expected usage exit 2 for unknown analyzer, got %d", code)
+	}
+	if !strings.Contains(errb.String(), "nosuch") {
+		t.Errorf("error should name the unknown analyzer, got: %s", errb.String())
+	}
+}

@@ -1,0 +1,22 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/uav-coverage/uavnet/internal/analysis"
+	"github.com/uav-coverage/uavnet/internal/analysis/analysistest"
+)
+
+func TestCtxThread(t *testing.T) {
+	t.Parallel()
+	analysistest.Run(t, analysistest.TestData(t), analysis.CtxThread,
+		"ctxthread", modulePath+"/internal/somesubsystem")
+}
+
+// Packages outside the module (vendored or generated trees) are not ours to
+// police.
+func TestCtxThreadIgnoresForeignModules(t *testing.T) {
+	t.Parallel()
+	analysistest.RunExpectClean(t, analysistest.TestData(t), analysis.CtxThread,
+		"ctxthread", "example.com/othermodule/lib")
+}

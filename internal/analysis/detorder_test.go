@@ -1,0 +1,25 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/uav-coverage/uavnet/internal/analysis"
+	"github.com/uav-coverage/uavnet/internal/analysis/analysistest"
+)
+
+const modulePath = "github.com/uav-coverage/uavnet"
+
+func TestDetOrderInDeterministicPackage(t *testing.T) {
+	t.Parallel()
+	analysistest.Run(t, analysistest.TestData(t), analysis.DetOrder,
+		"detorder", modulePath+"/internal/core")
+}
+
+// Outside the deterministic-output packages the map-iteration rule is out of
+// scope, but the global-rand rule still applies; the fixture also exercises
+// the //uavlint:allow suppression path.
+func TestDetOrderOutsideDeterministicPackages(t *testing.T) {
+	t.Parallel()
+	analysistest.Run(t, analysistest.TestData(t), analysis.DetOrder,
+		"detorder_lib", modulePath+"/internal/notdeterministic")
+}

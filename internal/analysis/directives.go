@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix starts a suppression comment. The directive form is
+//
+//	//uavlint:allow name1,name2 -- reason
+//
+// Like //go: directives it must start the comment with no space after "//".
+const allowPrefix = "//uavlint:allow"
+
+// scratchPrefix marks an epoch-stamped scratch struct for the epochscratch
+// analyzer: //uavlint:scratch epoch=<field> tables=<f1,f2,...>
+const scratchPrefix = "//uavlint:scratch"
+
+// parseAllow extracts the analyzer names from one comment line, or nil if the
+// line is not an allow directive.
+func parseAllow(text string) []string {
+	rest, ok := strings.CutPrefix(text, allowPrefix)
+	if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return nil
+	}
+	if i := strings.Index(rest, "--"); i >= 0 {
+		rest = rest[:i] // strip the human-readable reason
+	}
+	var names []string
+	for _, f := range strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+		names = append(names, f)
+	}
+	return names
+}
+
+// suppressions indexes every //uavlint:allow directive of a package by file:
+// the exact lines carrying a directive, and the body line ranges of functions
+// whose doc comment carries one.
+type suppressions struct {
+	fset *token.FileSet
+	// byLine maps filename -> line -> analyzer names allowed on that line.
+	byLine map[string]map[int][]string
+	// spans holds function-scoped allowances as [start, end] line ranges.
+	spans map[string][]allowSpan
+}
+
+type allowSpan struct {
+	start, end int
+	names      []string
+}
+
+func newSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{
+		fset:   fset,
+		byLine: map[string]map[int][]string{},
+		spans:  map[string][]allowSpan{},
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names := parseAllow(c.Text)
+				if len(names) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := s.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					s.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], names...)
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil || fd.Body == nil {
+				continue
+			}
+			var names []string
+			for _, c := range fd.Doc.List {
+				names = append(names, parseAllow(c.Text)...)
+			}
+			if len(names) == 0 {
+				continue
+			}
+			start := fset.Position(fd.Pos())
+			end := fset.Position(fd.Body.End())
+			s.spans[start.Filename] = append(s.spans[start.Filename], allowSpan{
+				start: start.Line, end: end.Line, names: names,
+			})
+		}
+	}
+	return s
+}
+
+// allows reports whether a diagnostic from the named analyzer at pos is
+// suppressed: a directive on the same line, on the line directly above, or a
+// function-doc directive whose body spans the line.
+func (s *suppressions) allows(analyzer string, pos token.Position) bool {
+	if lines := s.byLine[pos.Filename]; lines != nil {
+		for _, l := range [2]int{pos.Line, pos.Line - 1} {
+			for _, n := range lines[l] {
+				if n == analyzer {
+					return true
+				}
+			}
+		}
+	}
+	for _, sp := range s.spans[pos.Filename] {
+		if pos.Line < sp.start || pos.Line > sp.end {
+			continue
+		}
+		for _, n := range sp.names {
+			if n == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// directiveLines yields every //uavlint:scratch directive text attached to
+// the given type spec, looking at the spec's own doc, the parent decl's doc,
+// and the spec's trailing comment.
+func scratchDirectives(gd *ast.GenDecl, ts *ast.TypeSpec) []string {
+	var out []string
+	collect := func(cg *ast.CommentGroup) {
+		if cg == nil {
+			return
+		}
+		for _, c := range cg.List {
+			if rest, ok := strings.CutPrefix(c.Text, scratchPrefix); ok {
+				out = append(out, strings.TrimSpace(rest))
+			}
+		}
+	}
+	collect(ts.Doc)
+	collect(ts.Comment)
+	collect(gd.Doc)
+	return out
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"testing"
+)
+
+func TestParseAllow(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		text string
+		want []string
+	}{
+		{"//uavlint:allow detorder", []string{"detorder"}},
+		{"//uavlint:allow detorder,floatcast -- claims are rescored exactly", []string{"detorder", "floatcast"}},
+		{"//uavlint:allow timenow --reason glued on", []string{"timenow"}},
+		{"//uavlint:allow  a , b", []string{"a", "b"}},
+		{"// uavlint:allow detorder", nil},   // space after // — like //go: directives, must be flush
+		{"//uavlint:allowall detorder", nil}, // prefix must end at a separator
+		{"//uavlint:scratch epoch=e tables=t", nil},
+		{"// plain comment", nil},
+	}
+	for _, c := range cases {
+		if got := parseAllow(c.text); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseAllow(%q) = %v, want %v", c.text, got, c.want)
+		}
+	}
+}
+
+// TestSuppressionScopes checks the three placement forms against a synthetic
+// file: same line, line above, and function-doc scope.
+func TestSuppressionScopes(t *testing.T) {
+	t.Parallel()
+	src := `package p
+
+func a() {
+	_ = 1 //uavlint:allow lintx -- same line
+}
+
+func b() {
+	//uavlint:allow lintx -- line above
+	_ = 1
+}
+
+//uavlint:allow lintx -- whole function
+func c() {
+	_ = 1
+	_ = 2
+}
+
+func d() {
+	_ = 1
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := newSuppressions(fset, []*ast.File{f})
+	at := func(line int) token.Position { return token.Position{Filename: "p.go", Line: line} }
+	for _, c := range []struct {
+		line int
+		want bool
+	}{
+		{4, true},   // same line as directive
+		{9, true},   // line below a line-above directive
+		{14, true},  // inside function-doc scope (first stmt)
+		{15, true},  // inside function-doc scope (second stmt)
+		{19, false}, // unrelated function
+	} {
+		if got := sup.allows("lintx", at(c.line)); got != c.want {
+			t.Errorf("allows(lintx, line %d) = %v, want %v", c.line, got, c.want)
+		}
+	}
+	if sup.allows("otherlint", at(4)) {
+		t.Error("directive for lintx must not suppress otherlint")
+	}
+}

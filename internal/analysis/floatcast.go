@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// floatCastPkgs are the numeric packages whose float handling the analyzer
+// polices. Everything user-visible that these packages compute — coverage
+// radii, capacities, energy budgets, cell indices — eventually quantizes to
+// an int or gets compared, and that is exactly where rounding error bites.
+var floatCastPkgs = map[string]bool{
+	modulePath + "/internal/channel": true,
+	modulePath + "/internal/netsim":  true,
+	modulePath + "/internal/energy":  true,
+	modulePath + "/internal/geom":    true,
+}
+
+// FloatCast rejects the two float traps that have already produced bugs in
+// the numeric packages.
+//
+// A direct int(expr) conversion of a float truncates toward zero, so a
+// mathematically-exact 7 that computes as 6.999999999 becomes 6 — the
+// netsim.StableCapacity off-by-one fixed in PR 4. Conversions whose operand
+// is an explicit rounding call (math.Floor/Ceil/Round/Trunc, usually with an
+// epsilon, e.g. int(math.Floor(q + 1e-9))) are the sanctioned idiom and pass.
+//
+// ==/!= between floats is rounding-fragile for the same reason: two formulas
+// for the same quantity rarely produce identical bits. Compare with an
+// epsilon, or restructure into </> ordering (see netsim's event heap).
+// Constant-folded expressions are exempt — the compiler evaluates those
+// exactly.
+var FloatCast = &Analyzer{
+	Name: "floatcast",
+	Doc:  "flag truncating int(float) conversions and ==/!= on floats in numeric packages",
+	Run:  runFloatCast,
+}
+
+// roundingFuncs are the math functions that make float->int quantization
+// explicit and therefore sanction a following integer conversion.
+var roundingFuncs = map[string]bool{"Floor": true, "Ceil": true, "Round": true, "Trunc": true}
+
+func runFloatCast(pass *Pass) error {
+	if !floatCastPkgs[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkFloatConversion(pass, n)
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					checkFloatEquality(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkFloatConversion(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	funTV, ok := pass.Info.Types[call.Fun]
+	if !ok || !funTV.IsType() || !isInteger(funTV.Type) {
+		return
+	}
+	arg := ast.Unparen(call.Args[0])
+	argTV, ok := pass.Info.Types[arg]
+	if !ok || !isFloat(argTV.Type) {
+		return
+	}
+	if wholeTV, ok := pass.Info.Types[call]; ok && wholeTV.Value != nil {
+		return // constant conversion, evaluated exactly at compile time
+	}
+	if inner, ok := arg.(*ast.CallExpr); ok {
+		if pkg, name, ok := packageFunc(pass.Info, inner); ok && pkg == "math" && roundingFuncs[name] {
+			return
+		}
+	}
+	pass.Reportf(call.Pos(), "int(float) truncation turns rounding error into an off-by-one (cf. netsim.StableCapacity); make the rounding explicit with int(math.Floor(x + eps)), Round, or Ceil")
+}
+
+func checkFloatEquality(pass *Pass, be *ast.BinaryExpr) {
+	if tv, ok := pass.Info.Types[be]; ok && tv.Value != nil {
+		return // constant comparison
+	}
+	xTV, okX := pass.Info.Types[be.X]
+	yTV, okY := pass.Info.Types[be.Y]
+	if !okX || !okY || (!isFloat(xTV.Type) && !isFloat(yTV.Type)) {
+		return
+	}
+	pass.Reportf(be.Pos(), "%s on floating-point values is rounding-fragile; compare with an epsilon or restructure into </> ordering", be.Op)
+}

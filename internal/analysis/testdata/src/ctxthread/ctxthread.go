@@ -1,0 +1,27 @@
+// Fixture for the ctxthread analyzer, type-checked as a library package
+// inside the module.
+package fixture
+
+import "context"
+
+func root() context.Context {
+	return context.Background() // want `context.Background\(\) in library code`
+}
+
+func todo() context.Context {
+	return context.TODO() // want `context.TODO\(\) in library code`
+}
+
+// threaded accepts the caller's context: the sanctioned shape.
+func threaded(ctx context.Context) context.Context {
+	return ctx
+}
+
+// shim exercises the function-doc scope of the escape hatch: the directive
+// in this doc comment sanctions the whole body.
+//
+//uavlint:allow ctxthread -- fixture: compatibility shim
+func shim() context.Context {
+	ctx := context.Background()
+	return ctx
+}

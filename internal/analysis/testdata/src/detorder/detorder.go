@@ -1,0 +1,75 @@
+// Fixture for the detorder analyzer, type-checked as a deterministic-output
+// package (internal/core).
+package fixture
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// appendNoSort leaks map iteration order into the returned slice.
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside a map-range`
+	}
+	return keys
+}
+
+// appendThenSort is the sanctioned collect-then-sort idiom.
+func appendThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// appendThenSliceSort sanctions via sort.Slice with the target inside a
+// closure argument.
+func appendThenSliceSort(m map[int]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// emitsInLoop writes bytes in map iteration order; no later sort can help.
+func emitsInLoop(m map[string]int, sb *strings.Builder) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt.Println inside a map-range`
+		sb.WriteString(k) // want `WriteString call inside a map-range`
+	}
+}
+
+// sendsInLoop delivers values in map iteration order.
+func sendsInLoop(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside a map-range`
+	}
+}
+
+// globalRand draws from the process-global source.
+func globalRand() int {
+	return rand.Intn(10) // want `rand.Intn draws from the process-global source`
+}
+
+// seededRand threads an explicit source: fine.
+func seededRand(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// rangeSlice ranges a slice, not a map: fine.
+func rangeSlice(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

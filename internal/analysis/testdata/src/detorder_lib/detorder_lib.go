@@ -1,0 +1,24 @@
+// Fixture for detorder outside the deterministic-output packages: the
+// map-iteration rule is out of scope there, but the global-rand rule applies
+// module-wide.
+package fixture
+
+import "math/rand"
+
+// appendNoSort would be flagged in a deterministic package; here it is not.
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func globalRand() float64 {
+	return rand.Float64() // want `rand.Float64 draws from the process-global source`
+}
+
+// allowedRand exercises the same-line //uavlint:allow escape hatch.
+func allowedRand() int {
+	return rand.Intn(3) //uavlint:allow detorder -- fixture exercises the escape hatch
+}

@@ -1,0 +1,56 @@
+// Fixture for the floatcast analyzer, type-checked as a numeric package
+// (internal/netsim).
+package fixture
+
+import "math"
+
+// truncate is the StableCapacity bug shape: 6.999999999 becomes 6.
+func truncate(q float64) int {
+	return int(q) // want `int\(float\) truncation`
+}
+
+// floored is the sanctioned epsilon-floor idiom.
+func floored(q float64) int {
+	return int(math.Floor(q + 1e-9))
+}
+
+// rounded and ceiled make the quantization explicit too.
+func rounded(q float64) int32 { return int32(math.Round(q)) }
+func ceiled(q float64) int64  { return int64(math.Ceil(q)) }
+
+// constConv is folded exactly at compile time: fine.
+func constConv() int {
+	return int(2.0)
+}
+
+func eq(a, b float64) bool {
+	return a == b // want `== on floating-point values`
+}
+
+func neq(a, b float32) bool {
+	return a != b // want `!= on floating-point values`
+}
+
+func eqZero(f float64) bool {
+	return f == 0 // want `== on floating-point values`
+}
+
+// Ordering comparisons are rounding-tolerant by nature: fine.
+func ordered(a, b float64) bool { return a < b }
+
+// Integer equality is exact: fine.
+func intsFine(a, b int) bool { return a == b }
+
+// Widening between float types loses nothing: fine.
+func floatToFloat(a float32) float64 { return float64(a) }
+
+// allowedEq exercises the same-line escape hatch.
+func allowedEq(a, b float64) bool {
+	return a == b //uavlint:allow floatcast -- fixture exercises the escape hatch
+}
+
+// allowedAbove exercises the line-above form.
+func allowedAbove(a, b float64) bool {
+	//uavlint:allow floatcast -- fixture: line-above form
+	return a == b
+}

@@ -1,0 +1,21 @@
+// Fixture for the timenow analyzer, type-checked as a library package
+// inside the module.
+package fixture
+
+import "time"
+
+func now() time.Time {
+	return time.Now() // want `time.Now\(\) reads the wall clock`
+}
+
+func since(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since\(\) reads the wall clock`
+}
+
+// pure arithmetic on durations never touches the clock: fine.
+func pure(d time.Duration) time.Duration { return 2 * d }
+
+// sanctioned exercises the same-line escape hatch.
+func sanctioned() time.Time {
+	return time.Now() //uavlint:allow timenow -- fixture: progress clock
+}

@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// TimeNow rejects wall-clock reads (time.Now, time.Since) in library code.
+// Checkpoint/resume reproducibility (PR 4) requires that solver decisions be
+// pure functions of (scenario, options, seed); a wall-clock read on a solver
+// path is either dead weight or a determinism leak waiting to influence a
+// branch. The sanctioned sites — the progress reporter's ETA clock and the
+// eval harness's elapsed-time metrics, where wall time is the *output* and
+// never feeds a decision — carry //uavlint:allow timenow with a reason.
+// cmd/ binaries and tests are exempt.
+var TimeNow = &Analyzer{
+	Name: "timenow",
+	Doc:  "flag time.Now()/time.Since() outside sanctioned progress/metrics sites",
+	Run:  runTimeNow,
+}
+
+func runTimeNow(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	if !strings.HasPrefix(pass.Pkg.Path(), modulePath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkg, name, ok := packageFunc(pass.Info, call); ok && pkg == "time" &&
+				(name == "Now" || name == "Since") {
+				pass.Reportf(call.Pos(), "time.%s() reads the wall clock on a library path; solver decisions must be (scenario, options, seed)-pure — keep clock reads to sanctioned progress/metrics sites (//uavlint:allow timenow)", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

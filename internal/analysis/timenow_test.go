@@ -1,0 +1,14 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/uav-coverage/uavnet/internal/analysis"
+	"github.com/uav-coverage/uavnet/internal/analysis/analysistest"
+)
+
+func TestTimeNow(t *testing.T) {
+	t.Parallel()
+	analysistest.Run(t, analysistest.TestData(t), analysis.TimeNow,
+		"timenow", modulePath+"/internal/somesubsystem")
+}
