@@ -143,6 +143,79 @@ func BenchmarkAblation(b *testing.B) {
 	}
 }
 
+// BenchmarkAggregateSolve measures the demand-aggregation path (PR 6): the
+// full approAlg search on an instance whose users were coarsened into
+// weighted demand cells, at user counts the per-user path cannot touch. The
+// per-user sub-benchmarks run the identical snapped workloads without
+// aggregation — the direct cost comparison, since on snapped users the two
+// paths provably serve the same count. Instance construction (binning +
+// memoized radius lookups) is benchmarked separately.
+func BenchmarkAggregateSolve(b *testing.B) {
+	spec := func(n int) uavnet.ScenarioSpec {
+		return uavnet.ScenarioSpec{
+			AreaSide: 3000,
+			CellSide: 500,
+			N:        n,
+			K:        20,
+			CMin:     50,
+			CMax:     300,
+			Seed:     1,
+			SnapSide: 250,
+		}
+	}
+	aggOpts := uavnet.AggregateOptions{CellSide: 250}
+	solve := uavnet.Options{S: 2, Workers: 2}
+
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("aggregated/n=%d", n), func(b *testing.B) {
+			in, err := uavnet.GenerateAggregateInstance(spec(n), aggOpts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			served := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dep, err := uavnet.DeployInstance(in, solve)
+				if err != nil {
+					b.Fatal(err)
+				}
+				served = dep.Served
+			}
+			b.ReportMetric(float64(served), "served")
+		})
+	}
+	for _, n := range []int{10_000, 100_000} { // 1M per-user is minutes/op
+		b.Run(fmt.Sprintf("per-user/n=%d", n), func(b *testing.B) {
+			in, err := uavnet.GenerateInstance(spec(n))
+			if err != nil {
+				b.Fatal(err)
+			}
+			served := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dep, err := uavnet.DeployInstance(in, solve)
+				if err != nil {
+					b.Fatal(err)
+				}
+				served = dep.Served
+			}
+			b.ReportMetric(float64(served), "served")
+		})
+	}
+	b.Run("build/n=1000000", func(b *testing.B) {
+		sc, err := uavnet.GenerateScenario(spec(1_000_000))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := uavnet.NewAggregateInstance(sc, aggOpts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkAssignment measures the Section II-D max-flow oracle alone:
 // optimal assignment of n users to 10 placed stations.
 func BenchmarkAssignment(b *testing.B) {

@@ -7,6 +7,15 @@
 //	uavdeploy -scenario scenario.json -alg MCS        # one baseline
 //	uavdeploy -scenario scenario.json -alg all        # compare everything
 //	uavdeploy -n 500 -k 8 -seed 3                     # generate inline
+//	uavdeploy -scenario big.json -agg-cell 250        # demand-aggregated solve
+//
+// -agg-cell S coarsens the users into weighted demand cells with side S
+// meters before solving (approAlg only): subset evaluation then scales with
+// occupied cells instead of users, which is what makes million-user
+// scenarios tractable. The printed deployment and -verify both remain
+// per-user. Checkpoints taken under -agg-cell are keyed on the aggregate
+// fingerprint (see uavgen -agg-cell) and refuse to resume under a different
+// cell side or the per-user path.
 //
 // Run control (approAlg only):
 //
@@ -58,6 +67,7 @@ func run() error {
 		progressIntv = flag.Duration("progress", 0, "print approAlg progress to stderr at this interval (0 = off)")
 		ckptPath     = flag.String("checkpoint", "", "write a resumable checkpoint here when the run is stopped early")
 		resumePath   = flag.String("resume", "", "resume an approAlg run from this checkpoint file")
+		aggCell      = flag.Float64("agg-cell", 0, "aggregate users into weighted demand cells with this side in meters before solving (approAlg only; 0 = per-user)")
 		outPath      = flag.String("out", "", "write the final deployment as JSON here")
 	)
 	flag.Parse()
@@ -82,17 +92,34 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	in, err := uavnet.NewInstance(sc)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("scenario: %d users, %d UAVs, %d cells, area %.0fx%.0f m\n\n",
-		sc.N(), sc.K(), sc.M(), sc.Grid.Length, sc.Grid.Width)
-
 	names := []string{*alg}
 	if *alg == "all" {
 		names = uavnet.AlgorithmNames()
 	}
+	var in *uavnet.Instance
+	if *aggCell > 0 {
+		for _, name := range names {
+			if name != "approAlg" {
+				return fmt.Errorf("-agg-cell supports only approAlg; %s needs a per-user instance", name)
+			}
+		}
+		if *refine {
+			return fmt.Errorf("-agg-cell and -refine are incompatible: pathloss refinement needs a per-user instance")
+		}
+		in, err = uavnet.NewAggregateInstance(sc, uavnet.AggregateOptions{CellSide: *aggCell})
+	} else {
+		in, err = uavnet.NewInstance(sc)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario: %d users, %d UAVs, %d cells, area %.0fx%.0f m\n",
+		sc.N(), sc.K(), sc.M(), sc.Grid.Length, sc.Grid.Width)
+	if dem := in.Demand; dem != nil {
+		fmt.Printf("aggregated: %d demand cells (side %g m), fingerprint %016x\n",
+			len(dem.Cells), dem.Grid.Side, in.Fingerprint())
+	}
+	fmt.Println()
 	opts := uavnet.Options{S: *s, Workers: *workers, MaxSubsets: *maxSubsets, GroundLeftovers: *literal}
 	if *progressIntv > 0 {
 		opts.ProgressInterval = *progressIntv

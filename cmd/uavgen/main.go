@@ -6,6 +6,15 @@
 //	uavgen -out scenario.json -n 3000 -k 20 -seed 42
 //	uavgen -out sparse.json -dist uniform -n 500 -k 8
 //	uavgen -fingerprint scenario.json          # print an existing file's fingerprint
+//	uavgen -out big.json -n 1000000 -snap 250 -agg-cell 250   # million-user aggregated workflow
+//
+// -snap S snaps every user position to the center of its S-meter cell, the
+// regime in which demand aggregation is exact. -agg-cell S additionally
+// prints the aggregate fingerprint for that demand-cell side — the value
+// checkpoints taken under "uavdeploy -agg-cell S" are keyed on, so a resume
+// against the wrong cell grid (or the per-user path) is rejected up front.
+// Both flags also combine with -fingerprint to recompute the values for an
+// existing file.
 package main
 
 import (
@@ -33,9 +42,11 @@ func run() error {
 		cell = flag.Float64("cell", 500, "grid cell side in meters")
 		cmin = flag.Int("cmin", 50, "minimum UAV service capacity")
 		cmax = flag.Int("cmax", 300, "maximum UAV service capacity")
-		dist = flag.String("dist", "fat-tailed", "user distribution: fat-tailed | uniform | hotspot")
-		seed = flag.Int64("seed", 1, "random seed")
-		fp   = flag.String("fingerprint", "", "print the scenario fingerprint of this existing file and exit")
+		dist    = flag.String("dist", "fat-tailed", "user distribution: fat-tailed | uniform | hotspot")
+		seed    = flag.Int64("seed", 1, "random seed")
+		snap    = flag.Float64("snap", 0, "snap user positions to the centers of cells with this side in meters (0 = continuous positions); snapped scenarios aggregate exactly")
+		aggCell = flag.Float64("agg-cell", 0, "also print the aggregate fingerprint for this demand-cell side in meters (0 = skip)")
+		fp      = flag.String("fingerprint", "", "print the scenario fingerprint of this existing file and exit")
 	)
 	flag.Parse()
 
@@ -45,7 +56,7 @@ func run() error {
 			return err
 		}
 		fmt.Printf("%s: fingerprint %016x\n", *fp, sc.Fingerprint())
-		return nil
+		return printAggFingerprint(sc, *aggCell)
 	}
 
 	d, err := parseDistribution(*dist)
@@ -62,6 +73,7 @@ func run() error {
 		CMax:         *cmax,
 		Distribution: d,
 		Seed:         *seed,
+		SnapSide:     *snap,
 	})
 	if err != nil {
 		return err
@@ -73,6 +85,21 @@ func run() error {
 	// refuses a checkpoint taken on a different scenario).
 	fmt.Printf("wrote %s: %d users, %d UAVs, %d candidate cells (%s), fingerprint %016x\n",
 		*out, sc.N(), sc.K(), sc.M(), *dist, sc.Fingerprint())
+	return printAggFingerprint(sc, *aggCell)
+}
+
+// printAggFingerprint prints the aggregated-instance fingerprint for the
+// demand-cell side, the value "uavdeploy -agg-cell" checkpoints are keyed
+// on. A zero side prints nothing.
+func printAggFingerprint(sc *uavnet.Scenario, aggCell float64) error {
+	if aggCell == 0 {
+		return nil
+	}
+	afp, err := uavnet.AggregateFingerprint(sc, uavnet.AggregateOptions{CellSide: aggCell})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("aggregate fingerprint %016x (demand-cell side %g m)\n", afp, aggCell)
 	return nil
 }
 

@@ -25,14 +25,18 @@ const (
 // GenerateScenario builds a synthetic scenario from the spec. Equal specs
 // (including Seed) generate identical scenarios.
 func GenerateScenario(spec ScenarioSpec) (*Scenario, error) {
-	in, err := eval.BuildInstance(spec)
-	if err != nil {
-		return nil, err
-	}
-	return in.Scenario, nil
+	return eval.BuildScenario(spec)
 }
 
 // GenerateInstance is GenerateScenario plus precomputation, in one step.
 func GenerateInstance(spec ScenarioSpec) (*Instance, error) {
 	return eval.BuildInstance(spec)
+}
+
+// GenerateAggregateInstance is GenerateScenario plus demand aggregation
+// (NewAggregateInstance) in one step — the million-user path. Set
+// spec.SnapSide to the demand-cell side to generate a workload on which
+// aggregation is provably exact.
+func GenerateAggregateInstance(spec ScenarioSpec, opts AggregateOptions) (*Instance, error) {
+	return eval.BuildAggregateInstance(spec, opts)
 }

@@ -30,6 +30,17 @@ import (
 	"github.com/uav-coverage/uavnet/internal/geom"
 )
 
+// requirePerUser rejects aggregated instances: the baselines' planning
+// phases count eligibility-list entries as users, which would treat a
+// weighted demand cell as a single user and mis-rank every location. Run
+// them on a per-user core.NewInstance.
+func requirePerUser(in *core.Instance, name string) error {
+	if in.Aggregated() {
+		return fmt.Errorf("baseline %s: aggregated instances are not supported; build a per-user instance", name)
+	}
+	return nil
+}
+
 // homogeneousClass returns the eligibility class the capacity-oblivious
 // baselines plan with: the class with the most UAVs (ties broken by the
 // lower class id), i.e. the fleet's "typical" radio.
@@ -90,6 +101,9 @@ func marginalCover(eligible [][]int, loc int, covered []bool, mark bool) int {
 // at a time, always taking the cell with the largest marginal user coverage;
 // return the best-rooted result.
 func MCS(in *core.Instance) (*core.Deployment, error) {
+	if err := requirePerUser(in, "MCS"); err != nil {
+		return nil, err
+	}
 	sc := in.Scenario
 	k, m := sc.K(), sc.M()
 	eligible := in.Eligible[homogeneousClass(in)]
@@ -150,6 +164,9 @@ func less(a, b []int) bool {
 // cell and repeatedly makes the single connectivity-preserving one-cell move
 // that most increases total coverage, until a local optimum.
 func MotionCtrl(in *core.Instance) (*core.Deployment, error) {
+	if err := requirePerUser(in, "MotionCtrl"); err != nil {
+		return nil, err
+	}
 	sc := in.Scenario
 	k, m := sc.K(), sc.M()
 	eligible := in.Eligible[homogeneousClass(in)]
@@ -227,6 +244,9 @@ func MotionCtrl(in *core.Instance) (*core.Deployment, error) {
 // connected set from the most profitable location, always adding the
 // adjacent cell of maximum profit.
 func GreedyAssign(in *core.Instance) (*core.Deployment, error) {
+	if err := requirePerUser(in, "GreedyAssign"); err != nil {
+		return nil, err
+	}
 	sc := in.Scenario
 	k, m := sc.K(), sc.M()
 	eligible := in.Eligible[homogeneousClass(in)]
@@ -288,6 +308,9 @@ func GreedyAssign(in *core.Instance) (*core.Deployment, error) {
 // objective is the sum of served users' data rates under a homogeneous
 // capacity equal to the fleet's mean. Users are credited greedily by rate.
 func MaxThroughput(in *core.Instance) (*core.Deployment, error) {
+	if err := requirePerUser(in, "MaxThroughput"); err != nil {
+		return nil, err
+	}
 	sc := in.Scenario
 	k, m := sc.K(), sc.M()
 	class := homogeneousClass(in)

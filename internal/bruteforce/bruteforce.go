@@ -25,8 +25,13 @@ const (
 	maxUAVs      = 6
 )
 
-// Optimal returns an exact optimum deployment for the instance.
+// Optimal returns an exact optimum deployment for the instance. Aggregated
+// instances are rejected: the exact optimum is defined over individual
+// users, and the conservative aggregated relaxation would not be it.
 func Optimal(in *core.Instance) (*core.Deployment, error) {
+	if in.Aggregated() {
+		return nil, fmt.Errorf("bruteforce: aggregated instances are not supported; build a per-user instance")
+	}
 	sc := in.Scenario
 	m, k := sc.M(), sc.K()
 	if m > maxLocations {

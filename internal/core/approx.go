@@ -642,6 +642,9 @@ func connectLocations(g *graph.Undirected, selected []int) ([]int, error) {
 
 // finalizeDeployment maps the winning slot placement back to the scenario's
 // original UAV order and computes the final assignment (Algorithm 2 line 25).
+// On aggregated instances the assignment comes from the weighted b-matcher
+// and is expanded to per-user form by solveAggregate; either way the
+// returned Assignment is per-user and indexed by original UAV.
 func finalizeDeployment(in *Instance, best subsetResult) (*Deployment, error) {
 	sc := in.Scenario
 	k := sc.K()
@@ -663,7 +666,13 @@ func finalizeDeployment(in *Instance, best subsetResult) (*Deployment, error) {
 		p.Capacities[r] = sc.UAVs[uav].Capacity
 		p.Eligible[r] = in.EligibleUsers(uav, loc)
 	}
-	a, err := assign.Solve(p)
+	var a assign.Assignment
+	var err error
+	if in.Aggregated() {
+		a, err = solveAggregate(in, p.Capacities, p.Eligible)
+	} else {
+		a, err = assign.Solve(p)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -700,18 +709,37 @@ type gainEngine interface {
 
 // placementOracle adapts a gainEngine to the matroid.Oracle interface: the
 // marginal gain of placing the round-th largest-capacity UAV at a location
-// is the increase in optimally-served users.
+// is the increase in optimally-served users (or, on aggregated instances,
+// optimally-served demand units — the same quantity after expansion).
 type placementOracle struct {
 	in     *Instance
 	caps   []int
 	engine gainEngine
-	// matcher is the engine when the incremental matcher is active, nil on
-	// the reference path; it carries the reach bitset RoundBound popcounts.
+	// matcher is the engine when the incremental unit matcher is active, nil
+	// otherwise; it carries the reach bitset RoundBound popcounts.
 	matcher *match.Matcher
+	// wmatcher is the engine on aggregated instances: the weighted b-matcher
+	// over demand cells. Its GainBound is the weighted counterpart of the
+	// unit matcher's.
+	wmatcher *match.WeightedMatcher
 }
 
 func newPlacementOracle(in *Instance, caps []int, reference bool) (*placementOracle, error) {
 	o := &placementOracle{in: in, caps: caps}
+	if in.Aggregated() {
+		if reference {
+			// The Dinic evaluator scores unit users; running it on demand
+			// nodes would mis-count every node as one user.
+			return nil, fmt.Errorf("core: the reference oracle supports only per-user instances")
+		}
+		wm, err := match.NewWeightedMatcher(in.Weights, len(caps))
+		if err != nil {
+			return nil, err
+		}
+		o.wmatcher = wm
+		o.engine = wm
+		return o, nil
+	}
 	if reference {
 		ev, err := assign.NewEvaluator(in.Scenario.N(), len(caps))
 		if err != nil {
@@ -751,11 +779,12 @@ func (o *placementOracle) Commit(round, loc int) (int, error) {
 }
 
 // Bound implements matroid.Bounder: a placement can never serve more users
-// than the first-round capacity allows or than are eligible at the location.
-// Both quantities are static, so this is a valid initial upper bound for the
-// lazy greedy.
+// than the first-round capacity allows or than are eligible at the location
+// (eligible demand weight, on aggregated instances). Both quantities are
+// static, so this is a valid initial upper bound for the lazy greedy.
 func (o *placementOracle) Bound(loc int) int {
-	n := len(o.eligible(0, loc))
+	class := o.in.ClassOf[o.in.ByCapacity[0]]
+	n := o.in.eligTotal(class, loc)
 	if o.caps[0] < n {
 		return o.caps[0]
 	}
@@ -771,13 +800,16 @@ func (o *placementOracle) Bound(loc int) int {
 // selection identical, so the two paths still agree deployment-for-
 // deployment.
 func (o *placementOracle) RoundBound(round, loc int) int {
+	class := o.in.ClassOf[o.in.ByCapacity[round]]
+	if o.wmatcher != nil {
+		return o.wmatcher.GainBound(o.caps[round], o.in.EligMask[class][loc])
+	}
 	if o.matcher == nil {
 		c := o.caps[round]
-		if n := len(o.eligible(round, loc)); n < c {
+		if n := o.in.eligTotal(class, loc); n < c {
 			return n
 		}
 		return c
 	}
-	class := o.in.ClassOf[o.in.ByCapacity[round]]
 	return o.matcher.GainBound(o.caps[round], o.in.EligMask[class][loc])
 }

@@ -43,7 +43,14 @@ func EvaluateFixed(in *Instance, locationOf []int) (*Deployment, error) {
 		p.Capacities[i] = sc.UAVs[uav].Capacity
 		p.Eligible[i] = in.EligibleUsers(uav, locationOf[uav])
 	}
-	a, err := assign.Solve(p)
+	var a assign.Assignment
+	var err error
+	if in.Aggregated() {
+		// Weighted b-matching over demand cells, expanded back to users.
+		a, err = solveAggregate(in, p.Capacities, p.Eligible)
+	} else {
+		a, err = assign.Solve(p)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -18,6 +18,11 @@ import (
 // It returns the refined deployment and the total pathloss in milli-dB.
 func RefineAssignment(in *Instance, dep *Deployment) (*Deployment, int64, error) {
 	sc := in.Scenario
+	if in.Aggregated() {
+		// Pathloss costs are per individual user position; the demand-cell
+		// relaxation has no well-defined per-node cost.
+		return nil, 0, fmt.Errorf("core: RefineAssignment supports only per-user instances")
+	}
 	if len(dep.LocationOf) != sc.K() {
 		return nil, 0, fmt.Errorf("core: deployment has %d UAVs, scenario %d", len(dep.LocationOf), sc.K())
 	}

@@ -54,6 +54,10 @@ type Checkpoint struct {
 	// Algorithm is always "approAlg"; resuming rejects anything else.
 	Algorithm string `json:"algorithm"`
 	// ScenarioFingerprint guards against resuming on a different scenario.
+	// It is Instance.Fingerprint, not Scenario.Fingerprint: on aggregated
+	// instances it also covers the demand grid, so a checkpoint taken under
+	// one aggregation cell side cannot resume under another (or under a
+	// per-user solve) — the enumeration's scores would differ silently.
 	ScenarioFingerprint uint64 `json:"scenario_fingerprint"`
 	// S is the effective anchor-subset size (after clamping to K and m).
 	S int `json:"s"`
@@ -119,7 +123,7 @@ func (c *Checkpoint) validate(in *Instance, s int, opts Options, total int64, sa
 	if c.Algorithm != "approAlg" {
 		return fmt.Errorf("core: checkpoint is for algorithm %q, not approAlg", c.Algorithm)
 	}
-	if fp := in.Scenario.Fingerprint(); fp != c.ScenarioFingerprint {
+	if fp := in.Fingerprint(); fp != c.ScenarioFingerprint {
 		// Hex, matching what uavgen prints for a scenario file.
 		return mismatch("scenario fingerprint", fmt.Sprintf("%016x", fp), fmt.Sprintf("%016x", c.ScenarioFingerprint))
 	}
@@ -166,7 +170,7 @@ func (c *Checkpoint) validate(in *Instance, s int, opts Options, total int64, sa
 func newCheckpoint(in *Instance, s int, opts Options, total int64, sampled bool, cursor, evaluated, pruned int64, best subsetResult) *Checkpoint {
 	c := &Checkpoint{
 		Algorithm:           "approAlg",
-		ScenarioFingerprint: in.Scenario.Fingerprint(),
+		ScenarioFingerprint: in.Fingerprint(),
 		S:                   s,
 		Seed:                opts.Seed,
 		MaxSubsets:          opts.MaxSubsets,

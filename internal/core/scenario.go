@@ -147,78 +147,38 @@ type Instance struct {
 	ByCapacity []int
 	// ClassOf maps a UAV index to its eligibility class.
 	ClassOf []int
-	// Eligible[class][loc] lists the users a UAV of that class can serve
-	// from location loc (within range and meeting the user's minimum rate).
+	// Eligible[class][loc] lists the demand nodes a UAV of that class can
+	// serve from location loc (within range and meeting the minimum rate).
+	// On a per-user instance (NewInstance) the nodes are the users
+	// themselves; on an aggregated instance (NewAggregateInstance) they are
+	// weighted demand cells.
 	//
-	// Invariant: every list is sorted ascending and duplicate-free (users
+	// Invariant: every list is sorted ascending and duplicate-free (nodes
 	// are scanned in index order at construction, each appended at most
 	// once). EligMask and the matcher's popcount bound path rely on it;
 	// TestEligibleSortedUniqueProperty asserts it on random instances.
 	Eligible [][][]int
-	// EligMask[class][loc] is Eligible[class][loc] as a user bitset, the
+	// EligMask[class][loc] is Eligible[class][loc] as a node bitset, the
 	// representation the greedy's dynamic gain bound popcounts against the
-	// matcher's still-augmentable user set.
+	// matcher's still-augmentable node set.
 	EligMask [][]match.Bitset
+
+	// Demand, Weights and EligWeight are set only on aggregated instances
+	// (see aggregate.go): the demand-cell structure, the per-node demand
+	// weights the matching layer serves, and the per-(class, location) total
+	// eligible demand (the weighted counterpart of len(Eligible[c][j])).
+	Demand     *Demand
+	Weights    []int
+	EligWeight [][]int
 }
 
 // NewInstance validates the scenario and precomputes the derived structures.
 func NewInstance(sc *Scenario) (*Instance, error) {
-	if err := sc.Validate(); err != nil {
+	in, classes, err := newInstanceSkeleton(sc)
+	if err != nil {
 		return nil, err
 	}
-	in := &Instance{
-		Scenario: sc,
-		Centers:  sc.Grid.Centers(),
-	}
 	m := len(in.Centers)
-
-	// Location graph and hop matrix.
-	in.LocGraph = graph.New(m)
-	for a := 0; a < m; a++ {
-		for b := a + 1; b < m; b++ {
-			if geom.Dist2(in.Centers[a], in.Centers[b]) <= sc.UAVRange {
-				if err := in.LocGraph.AddEdge(a, b); err != nil {
-					return nil, err
-				}
-			}
-		}
-	}
-	// The path oracle's construction BFS doubles as the hop-matrix BFS:
-	// each Hop row is read back from the oracle's distance matrix instead
-	// of running a second all-sources sweep.
-	in.Paths = graph.NewPathOracle(in.LocGraph)
-	in.Hop = make([][]int, m)
-	for a := 0; a < m; a++ {
-		in.Hop[a] = in.Paths.DistRow(a)
-	}
-
-	// Capacity-sorted order (decreasing; stable on index for determinism).
-	in.ByCapacity = make([]int, sc.K())
-	for k := range in.ByCapacity {
-		in.ByCapacity[k] = k
-	}
-	sort.SliceStable(in.ByCapacity, func(i, j int) bool {
-		a, b := in.ByCapacity[i], in.ByCapacity[j]
-		if sc.UAVs[a].Capacity != sc.UAVs[b].Capacity {
-			return sc.UAVs[a].Capacity > sc.UAVs[b].Capacity
-		}
-		return a < b
-	})
-
-	// Eligibility classes.
-	classIdx := map[classKey]int{}
-	in.ClassOf = make([]int, sc.K())
-	var classes []classKey
-	for k, u := range sc.UAVs {
-		key := classKey{u.Tx.PowerDBm, u.Tx.AntennaGainDBi, u.UserRange}
-		id, ok := classIdx[key]
-		if !ok {
-			id = len(classes)
-			classIdx[key] = id
-			classes = append(classes, key)
-		}
-		in.ClassOf[k] = id
-	}
 
 	// Per-class, per-user maximum serving distance: the lesser of the class's
 	// explicit range cap and the distance at which the channel still meets
@@ -261,9 +221,118 @@ func NewInstance(sc *Scenario) (*Instance, error) {
 	return in, nil
 }
 
-// EligibleUsers returns the users UAV k can serve from location loc.
+// newInstanceSkeleton validates the scenario and builds every instance
+// structure that does not depend on the demand representation — the location
+// graph, hop matrix, path oracle, capacity order and eligibility classes —
+// shared by NewInstance and NewAggregateInstance. It returns the class keys
+// in class-id order so the caller can run its own eligibility pass.
+func newInstanceSkeleton(sc *Scenario) (*Instance, []classKey, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, nil, err
+	}
+	in := &Instance{
+		Scenario: sc,
+		Centers:  sc.Grid.Centers(),
+	}
+	m := len(in.Centers)
+
+	// Location graph and hop matrix.
+	in.LocGraph = graph.New(m)
+	for a := 0; a < m; a++ {
+		for b := a + 1; b < m; b++ {
+			if geom.Dist2(in.Centers[a], in.Centers[b]) <= sc.UAVRange {
+				if err := in.LocGraph.AddEdge(a, b); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	// The path oracle's construction BFS doubles as the hop-matrix BFS:
+	// each Hop row is read back from the oracle's distance matrix instead
+	// of running a second all-sources sweep.
+	in.Paths = graph.NewPathOracle(in.LocGraph)
+	in.Hop = make([][]int, m)
+	for a := 0; a < m; a++ {
+		in.Hop[a] = in.Paths.DistRow(a)
+	}
+
+	// Capacity-sorted order (decreasing; stable on index for determinism).
+	in.ByCapacity = make([]int, sc.K())
+	for k := range in.ByCapacity {
+		in.ByCapacity[k] = k
+	}
+	sort.SliceStable(in.ByCapacity, func(i, j int) bool {
+		a, b := in.ByCapacity[i], in.ByCapacity[j]
+		if sc.UAVs[a].Capacity != sc.UAVs[b].Capacity {
+			return sc.UAVs[a].Capacity > sc.UAVs[b].Capacity
+		}
+		return a < b
+	})
+
+	// Eligibility classes.
+	classIdx := map[classKey]int{}
+	in.ClassOf = make([]int, sc.K())
+	var classes []classKey
+	for k, u := range sc.UAVs {
+		key := classKey{u.Tx.PowerDBm, u.Tx.AntennaGainDBi, u.UserRange}
+		id, ok := classIdx[key]
+		if !ok {
+			id = len(classes)
+			classIdx[key] = id
+			classes = append(classes, key)
+		}
+		in.ClassOf[k] = id
+	}
+	return in, classes, nil
+}
+
+// EligibleUsers returns the demand nodes UAV k can serve from location loc:
+// users on a per-user instance, demand cells on an aggregated one.
 func (in *Instance) EligibleUsers(k, loc int) []int {
 	return in.Eligible[in.ClassOf[k]][loc]
+}
+
+// NumNodes returns the number of demand nodes the matching layer works on:
+// the demand-cell count for an aggregated instance, the user count otherwise.
+func (in *Instance) NumNodes() int {
+	if in.Demand != nil {
+		return len(in.Demand.Cells)
+	}
+	return in.Scenario.N()
+}
+
+// Aggregated reports whether the instance carries aggregated demand cells
+// instead of individual users.
+func (in *Instance) Aggregated() bool { return in.Demand != nil }
+
+// weightOf returns the demand of node u (1 on per-user instances).
+func (in *Instance) weightOf(u int) int {
+	if in.Weights == nil {
+		return 1
+	}
+	return in.Weights[u]
+}
+
+// eligTotal returns the total demand eligible for the class at loc — the
+// weighted counterpart of len(Eligible[class][loc]).
+func (in *Instance) eligTotal(class, loc int) int {
+	if in.EligWeight != nil {
+		return in.EligWeight[class][loc]
+	}
+	return len(in.Eligible[class][loc])
+}
+
+// Fingerprint identifies the optimization problem the instance encodes. For
+// a per-user instance it is the scenario fingerprint; an aggregated instance
+// additionally binds the demand grid, so checkpoints taken on one cell size
+// refuse to resume under another (or under the per-user representation) —
+// the enumeration prefix would otherwise silently score different matchings.
+func (in *Instance) Fingerprint() uint64 {
+	fp := in.Scenario.Fingerprint()
+	if in.Demand == nil {
+		return fp
+	}
+	return aggFingerprint(fp, in.Demand)
 }
 
 // MaxHop returns the largest finite pairwise hop distance in the location

@@ -40,17 +40,23 @@ type evalScratch struct {
 	slotLoc []int
 	selMark []bool
 	relays  []int
-	// Leftover extension claim tables (epoch-stamped).
-	claimed []int64
-	used    []int64
-	epoch   int64
+	// Leftover extension claim tables (epoch-stamped). On aggregated
+	// instances the tables are indexed by demand node and claims are
+	// partial: claimAmt[u] (valid only while claimed[u] == epoch) records
+	// how much of node u's weight is taken. Unit instances have weight 1
+	// everywhere, so a claim is all-or-nothing and claimAmt is always 1 —
+	// the bookkeeping degenerates to the original boolean protocol.
+	claimed  []int64
+	claimAmt []int
+	used     []int64
+	epoch    int64
 }
 
 // newEvalScratch sizes a scratch for the instance and the hop-budget vector
 // q (the Q_h caps of Eq. (1), shared by every subset of one Approx run).
 func newEvalScratch(in *Instance, q []int) *evalScratch {
 	m := in.Scenario.M()
-	n := in.Scenario.N()
+	n := in.NumNodes()
 	scr := &evalScratch{
 		dist:     make([]int, m),
 		queue:    make([]int, 0, m),
@@ -59,6 +65,7 @@ func newEvalScratch(in *Instance, q []int) *evalScratch {
 		nodeMark: make([]bool, m),
 		selMark:  make([]bool, m),
 		claimed:  make([]int64, n),
+		claimAmt: make([]int, n),
 		used:     make([]int64, m),
 	}
 	// The M2 matroid aliases scr.dist, which MultiSourceBFSInto refills in
@@ -121,9 +128,20 @@ func (scr *evalScratch) connectLocations(in *Instance, selected []int) ([]int, e
 	return nodes, nil
 }
 
-// claimUsers greedily claims up to caps[slot] still-unclaimed users eligible
-// for the slot's UAV at loc, stamping them with the current epoch, and
-// returns the number claimed.
+// claimAvail returns how much of node u's weight is still unclaimed in the
+// current epoch (on unit instances: 1 if unclaimed, 0 if claimed).
+func (scr *evalScratch) claimAvail(in *Instance, u int) int {
+	if scr.claimed[u] != scr.epoch {
+		return in.weightOf(u)
+	}
+	return in.weightOf(u) - scr.claimAmt[u]
+}
+
+// claimUsers greedily claims up to caps[slot] still-unclaimed demand units
+// eligible for the slot's UAV at loc, stamping the touched nodes with the
+// current epoch, and returns the amount claimed. Claims are partial on
+// weighted nodes; on unit instances this is the original one-user-per-claim
+// protocol.
 func (scr *evalScratch) claimUsers(in *Instance, slot, loc int, budget int) int {
 	uav := in.ByCapacity[slot]
 	got := 0
@@ -131,10 +149,20 @@ func (scr *evalScratch) claimUsers(in *Instance, slot, loc int, budget int) int 
 		if got == budget {
 			break
 		}
+		avail := scr.claimAvail(in, u)
+		if avail <= 0 {
+			continue
+		}
+		take := avail
+		if rest := budget - got; rest < take {
+			take = rest
+		}
 		if scr.claimed[u] != scr.epoch {
 			scr.claimed[u] = scr.epoch
-			got++
+			scr.claimAmt[u] = 0
 		}
+		scr.claimAmt[u] += take
+		got += take
 	}
 	return got
 }
@@ -172,8 +200,11 @@ func (scr *evalScratch) extendWithLeftovers(in *Instance, slotLoc []int, caps []
 					if gain == budget {
 						break
 					}
-					if scr.claimed[u] != scr.epoch {
-						gain++
+					if avail := scr.claimAvail(in, u); avail > 0 {
+						gain += avail
+						if gain > budget {
+							gain = budget
+						}
 					}
 				}
 				if gain > bestGain || (gain == bestGain && gain > 0 && nb < bestLoc) {

@@ -48,6 +48,10 @@ type Params struct {
 	Distribution workload.Distribution
 	// Seed drives user placement and fleet sampling.
 	Seed int64
+	// SnapSide, when positive, snaps user positions to the centers of a grid
+	// with this side (workload.UserOptions.SnapSide) — the demand-homogeneous
+	// regime in which aggregation is exact. Zero leaves positions continuous.
+	SnapSide float64
 }
 
 // WithDefaults fills zero fields with the paper's Section IV-A values.
@@ -94,9 +98,32 @@ func (p Params) WithDefaults() Params {
 // BuildInstance generates the scenario described by p and precomputes its
 // algorithm instance.
 func BuildInstance(p Params) (*core.Instance, error) {
+	sc, err := BuildScenario(p)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewInstance(sc)
+}
+
+// BuildAggregateInstance generates the scenario described by p and
+// precomputes its demand-aggregated instance (core.NewAggregateInstance).
+// This is the million-user path: the scenario still carries every individual
+// user, but subset evaluation runs over demand cells.
+func BuildAggregateInstance(p Params, opts core.AggOptions) (*core.Instance, error) {
+	sc, err := BuildScenario(p)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewAggregateInstance(sc, opts)
+}
+
+// BuildScenario generates the scenario described by p without precomputing
+// an instance, so callers can choose the per-user or aggregated path.
+func BuildScenario(p Params) (*core.Scenario, error) {
 	p = p.WithDefaults()
 	grid := geom.Grid{Length: p.AreaSide, Width: p.AreaSide, Side: p.CellSide, Altitude: p.Altitude}
-	positions, err := workload.Users(grid, p.N, p.Distribution, p.Seed)
+	positions, err := workload.UsersWithOptions(grid, p.N, p.Distribution, p.Seed,
+		workload.UserOptions{SnapSide: p.SnapSide})
 	if err != nil {
 		return nil, fmt.Errorf("eval: %w", err)
 	}
@@ -120,7 +147,7 @@ func BuildInstance(p Params) (*core.Instance, error) {
 			UserRange: p.UserRange,
 		})
 	}
-	return core.NewInstance(sc)
+	return sc, nil
 }
 
 // Algorithm is one competitor in an experiment. Run honors its context for

@@ -54,3 +54,17 @@ func AndCount(a, b Bitset) int {
 	}
 	return n
 }
+
+// AndWeightSum returns the sum of w[i] over the indices i in a ∩ b, the
+// weighted generalization of AndCount the WeightedMatcher's gain bound uses.
+func AndWeightSum(a, b Bitset, w []int) int {
+	total := 0
+	for i, word := range a {
+		x := word & b[i]
+		for x != 0 {
+			total += w[i*64+bits.TrailingZeros64(x)]
+			x &= x - 1
+		}
+	}
+	return total
+}

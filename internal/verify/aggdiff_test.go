@@ -1,0 +1,85 @@
+package verify
+
+import (
+	"context"
+	"testing"
+
+	"github.com/uav-coverage/uavnet/internal/core"
+)
+
+func TestAggregateDifferentialRandomScenarios(t *testing.T) {
+	t.Parallel()
+	seeds := int64(diffSeeds)
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			if err := AggregateDifferential(context.Background(), seed); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// FuzzAggregateExactness drives the aggregated solve over fuzzer-shaped
+// scenarios with snapped (demand-homogeneous) users and asserts the
+// exactness contract: aggregation reports exact, the aggregated and
+// per-user GroundLeftovers runs serve equally, and the aggregated result
+// never claims more served than the per-user oracle re-derives from its
+// expanded assignment.
+//
+// Run locally with:
+//
+//	go test -fuzz=FuzzAggregateExactness -fuzztime=30s ./internal/verify
+func FuzzAggregateExactness(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(2), uint8(2), uint8(12), false)
+	f.Add(int64(9), uint8(4), uint8(4), uint8(3), uint8(30), true)
+	f.Add(int64(77), uint8(2), uint8(2), uint8(1), uint8(5), false)
+	f.Fuzz(func(t *testing.T, seed int64, cols, rows, k, n uint8, shortRange bool) {
+		sc := fuzzScenario(seed, cols, rows, k, n, shortRange)
+		side := 500.0
+		if seed%2 == 0 {
+			side = 250
+		}
+		sc = snapScenario(sc, side)
+		perUser, err := core.NewInstance(sc)
+		if err != nil {
+			t.Fatalf("instance on a validated scenario: %v", err)
+		}
+		agg, err := core.NewAggregateInstance(sc, core.AggOptions{CellSide: side})
+		if err != nil {
+			t.Fatalf("aggregate on a validated scenario: %v", err)
+		}
+		if !core.AggregationExact(perUser, agg) {
+			t.Fatalf("snapped scenario not exact (seed=%d cols=%d rows=%d k=%d n=%d short=%v side=%g)",
+				seed, cols, rows, k, n, shortRange, side)
+		}
+		s := 2
+		if s > sc.K() {
+			s = sc.K()
+		}
+		opts := core.Options{S: s, Workers: 2, GroundLeftovers: true}
+		want, err := core.Approx(context.Background(), perUser, opts)
+		if err != nil {
+			return // infeasible (e.g. disconnected grid): a typed error is fine
+		}
+		got, err := core.Approx(context.Background(), agg, opts)
+		if err != nil {
+			t.Fatalf("aggregated run failed where per-user succeeded: %v", err)
+		}
+		if got.Served != want.Served {
+			t.Fatalf("aggregated served %d, per-user %d (seed=%d cols=%d rows=%d k=%d n=%d short=%v side=%g)",
+				got.Served, want.Served, seed, cols, rows, k, n, shortRange, side)
+		}
+		// The oracle re-derives the served count from the expanded
+		// assignment; a claim of more coverage than the members actually
+		// receive shows up as a bookkeeping or min-rate violation.
+		if rep := CheckDeployment(perUser, got); !rep.OK() {
+			t.Fatalf("aggregated deployment violates the oracle (seed=%d cols=%d rows=%d k=%d n=%d short=%v side=%g): %s",
+				seed, cols, rows, k, n, shortRange, side, rep)
+		}
+	})
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package verify
+
+// raceEnabled mirrors the -race build flag so scale tests (the million-user
+// aggregation run) can skip themselves: under the race detector they blow
+// the CI time budget without exercising any extra interleavings.
+const raceEnabled = true

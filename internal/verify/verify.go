@@ -125,6 +125,13 @@ const rateSlack = 1e-9
 // instance it was computed on and returns the violations found. A nil
 // instance or deployment yields a single shape violation. The oracle is
 // read-only and safe for concurrent use on a shared instance.
+//
+// Aggregated instances (core.NewAggregateInstance) need no special casing:
+// deployments always carry fully expanded per-user assignments, and every
+// check below re-derives rates, ranges and capacities from the scenario's
+// individual users — never from the (cell-granular) eligibility lists — so
+// a deployment that only holds in aggregate but violates some member user's
+// constraint is caught here.
 func CheckDeployment(in *core.Instance, dep *core.Deployment) Report {
 	var r Report
 	if in == nil || dep == nil {

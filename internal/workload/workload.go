@@ -59,6 +59,14 @@ type UserOptions struct {
 	// BackgroundFrac is the fraction of users scattered uniformly outside
 	// clusters; 0 selects 0.1. Set to a negative value for exactly zero.
 	BackgroundFrac float64
+	// SnapSide, when positive, snaps every generated position to the center
+	// of its cell on a square grid with this side (which must divide the
+	// area like a hovering-grid side). Snapped scenarios make every demand
+	// cell's members co-located, the homogeneity condition under which
+	// core.NewAggregateInstance is exact — the differential suite and the
+	// million-user benchmarks generate their workloads this way. Applies to
+	// every distribution.
+	SnapSide float64
 }
 
 func (o UserOptions) withDefaults(grid geom.Grid, n int) UserOptions {
@@ -108,16 +116,39 @@ func UsersRand(r *rand.Rand, grid geom.Grid, n int, dist Distribution, opts User
 	if n < 0 {
 		return nil, fmt.Errorf("workload: negative user count %d", n)
 	}
+	var out []geom.Point2
 	switch dist {
 	case Uniform:
-		return uniformUsers(r, grid, n), nil
+		out = uniformUsers(r, grid, n)
 	case SingleHotspot:
-		return hotspotUsers(r, grid, n), nil
+		out = hotspotUsers(r, grid, n)
 	case FatTailed:
-		return fatTailedUsers(r, grid, n, opts.withDefaults(grid, n)), nil
+		out = fatTailedUsers(r, grid, n, opts.withDefaults(grid, n))
 	default:
 		return nil, fmt.Errorf("workload: unknown distribution %v", dist)
 	}
+	if opts.SnapSide > 0 {
+		if err := snapUsers(grid, opts.SnapSide, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// snapUsers moves each position to the center of its cell on a grid with
+// side snapSide, binning with the same CellOf arithmetic the aggregation
+// layer uses so a snapped position and its demand cell can never disagree.
+func snapUsers(grid geom.Grid, snapSide float64, positions []geom.Point2) error {
+	snap := grid
+	snap.Side = snapSide
+	if err := snap.Validate(); err != nil {
+		return fmt.Errorf("workload: invalid snap grid: %w", err)
+	}
+	for i, p := range positions {
+		col, row := snap.CellAt(snap.CellOf(p))
+		positions[i] = snap.Center(col, row)
+	}
+	return nil
 }
 
 func uniformUsers(r *rand.Rand, grid geom.Grid, n int) []geom.Point2 {
