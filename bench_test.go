@@ -11,6 +11,7 @@
 package uavnet_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -106,6 +107,35 @@ func BenchmarkFig6(b *testing.B) {
 				dep, err := uavnet.DeployInstance(in, uavnet.Options{S: s, Workers: 2})
 				if err != nil {
 					b.Fatal(err)
+				}
+				served = dep.Served
+			}
+			b.ReportMetric(float64(served), "served")
+		})
+	}
+}
+
+// BenchmarkShardScaling measures the shard layer (PR 7) on the Fig. 6 s=3
+// point: the same enumeration split into 1, 2, 4, and 8 in-process shards
+// solved concurrently by ShardPool and merged. The served metric must match
+// across all shard counts — sharding changes wall-clock only, never the
+// answer. Speedup over shards=1 tracks available cores; on a single-core
+// runner all points degenerate to the same time/op (the merge adds
+// microseconds).
+func BenchmarkShardScaling(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("approAlg/s=3/shards=%d", shards), func(b *testing.B) {
+			in := benchInstance(b, benchParams())
+			pool := uavnet.ShardPool{Shards: shards}
+			served := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dep, err := pool.Run(context.Background(), in, uavnet.Options{S: 3})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if dep.Status != uavnet.StatusComplete {
+					b.Fatalf("status %q", dep.Status)
 				}
 				served = dep.Served
 			}

@@ -60,19 +60,34 @@ type Options struct {
 	// behaviour (its reported approAlg results are only achievable when all
 	// K UAVs fly).
 	GroundLeftovers bool
+	// Shard, when its Count is non-zero, restricts the run to one
+	// contiguous shard of the enumeration index space: shard Index of Count
+	// (see ShardSpec.Range). The run never inspects an index outside its
+	// shard; when it exhausts the shard it returns the best deployment over
+	// that range tagged StatusPartial, carrying the partial Checkpoint that
+	// MergeCheckpoints combines into the full-enumeration result. In
+	// sampled mode the shard owns the corresponding sub-range of sample
+	// indices — each index reseeds the RNG, so per-shard sample streams are
+	// deterministic and disjoint by construction. The zero value solves the
+	// whole space.
+	Shard ShardSpec
 	// StopAfter, when positive, stops the run once the claim cursor reaches
 	// this absolute enumeration index (counting from the start of the
-	// enumeration, including any prefix covered by a resumed checkpoint).
-	// The run then returns a StatusStopped deployment carrying a Checkpoint,
-	// exactly as if the context had been cancelled at that point — a
-	// deterministic work budget for incremental sweeps. Zero runs to
-	// completion.
+	// enumeration, including any prefix covered by a resumed checkpoint —
+	// under Shard, indices below the shard's range are not counted against
+	// the budget since they were never this run's work). The run then
+	// returns a StatusStopped deployment carrying a Checkpoint, exactly as
+	// if the context had been cancelled at that point — a deterministic
+	// work budget for incremental sweeps. Zero runs to completion.
 	StopAfter int64
 	// Resume restarts a run from a checkpoint produced by an earlier
 	// stopped run. The checkpoint must match this run exactly (scenario
 	// fingerprint, effective s, seed, subset cap, prune/leftover flags,
-	// required cells); Approx rejects any mismatch. A resumed run that
-	// finishes yields a deployment byte-identical to an uninterrupted one.
+	// required cells, and shard — a partial checkpoint resumes only under
+	// the same Shard, an unsharded or merged one only without); Approx
+	// rejects any mismatch. A merged checkpoint's Remaining holes are
+	// re-enumerated exactly. A resumed run that finishes yields a
+	// deployment byte-identical to an uninterrupted one.
 	Resume *Checkpoint
 	// Progress, when non-nil, receives periodic Progress snapshots from a
 	// monitor goroutine every ProgressInterval, plus one final synchronous
@@ -119,14 +134,17 @@ type Deployment struct {
 	// and skipped by the sound pruning rule (approAlg only).
 	SubsetsEvaluated, SubsetsPruned int64
 	// Status reports whether the run exhausted the enumeration
-	// (StatusComplete) or was stopped early (StatusStopped). Algorithms
-	// other than approAlg always complete. Zero-valued for deployments
-	// predating the run-control layer; treat "" as complete.
+	// (StatusComplete), was stopped early (StatusStopped), or — under
+	// Options.Shard — exhausted exactly its own shard range
+	// (StatusPartial). Algorithms other than approAlg always complete.
+	// Zero-valued for deployments predating the run-control layer; treat
+	// "" as complete.
 	Status RunStatus `json:",omitempty"`
-	// Checkpoint resumes a stopped run (set only when Status is
-	// StatusStopped; see Options.Resume). It is excluded from the
-	// deployment's JSON form so stopped-then-resumed and uninterrupted runs
-	// serialize identically once finished.
+	// Checkpoint resumes a stopped run or feeds a partial one into
+	// MergeCheckpoints (set when Status is StatusStopped or StatusPartial;
+	// see Options.Resume). It is excluded from the deployment's JSON form
+	// so stopped-then-resumed and uninterrupted runs serialize identically
+	// once finished.
 	Checkpoint *Checkpoint `json:"-"`
 }
 
@@ -193,15 +211,9 @@ func Approx(ctx context.Context, in *Instance, opts Options) (*Deployment, error
 	sc := in.Scenario
 	k, m := sc.K(), sc.M()
 
-	s := opts.S
-	if s > k {
-		s = k
-	}
-	if s > m {
-		s = m
-	}
-	if s < 1 {
-		return nil, fmt.Errorf("core: cannot run approAlg with s < 1 (m=%d, K=%d)", m, k)
+	s, err := effectiveS(opts.S, k, m)
+	if err != nil {
+		return nil, err
 	}
 
 	budget, err := PlanBudget(k, s)
@@ -218,40 +230,57 @@ func Approx(ctx context.Context, in *Instance, opts Options) (*Deployment, error
 
 	total, sampled := subsetSpace(m, s, opts)
 
-	// Resume support: seed the cursor, counters, and running best from the
-	// checkpoint after proving it describes this exact run. The enumeration
-	// is a pure function of (Seed, index), so the exact processed prefix
-	// [0, Cursor) plus the checkpointed best reproduce the interrupted run's
-	// state with no RNG snapshotting (sampling reseeds per index).
+	if err := opts.Shard.check(); err != nil {
+		return nil, err
+	}
+	// scope is this run's slice of the enumeration: its shard's range, or
+	// the whole space. work lists the sub-ranges still unprocessed within
+	// the scope — the whole scope on a fresh run, a resumed checkpoint's
+	// leftover otherwise (a single suffix, or several holes when resuming a
+	// merged checkpoint).
+	scope := opts.Shard.Range(total)
+	work := []Span{scope}
+
+	// Resume support: seed the work list, counters, and running best from
+	// the checkpoint after proving it describes this exact run. The
+	// enumeration is a pure function of (Seed, index), so the processed set
+	// plus the checkpointed best reproduce the interrupted run's state with
+	// no RNG snapshotting (sampling reseeds per index).
 	best := subsetResult{idx: -1, served: -1}
-	var startCursor, baseEvaluated, basePruned int64
+	var baseEvaluated, basePruned int64
 	if opts.Resume != nil {
 		if err := opts.Resume.validate(in, s, opts, total, sampled); err != nil {
 			return nil, err
 		}
-		startCursor = opts.Resume.Cursor
+		work = opts.Resume.RemainingSpans()
 		baseEvaluated = opts.Resume.Evaluated
 		basePruned = opts.Resume.Pruned
 		if b := opts.Resume.Best; b != nil {
 			best = subsetResult{idx: b.Idx, served: b.Served, locs: append([]int(nil), b.Locs...), nsel: b.NSel}
 		}
 	}
-	// stop is the claim bound: total, optionally truncated by the StopAfter
-	// work budget. A stop below total forces a StatusStopped result even
-	// without cancellation.
-	stop := total
-	if opts.StopAfter > 0 && opts.StopAfter < stop {
-		stop = opts.StopAfter
+	// Workers claim virtual offsets in [0, stopV) — a flattened view of the
+	// work list — and map them back to real enumeration indices through the
+	// prefix sums. baseDone is the scope prefix a resumed checkpoint already
+	// covered; stopV truncates this run's claimable work to the StopAfter
+	// budget (an absolute enumeration index, so already-done units are not
+	// billed again and a budget at or below the resumed frontier claims
+	// nothing rather than rewinding it).
+	baseDone := scope.Len() - spanUnits(work)
+	stopV := spanUnits(work)
+	if opts.StopAfter > 0 {
+		if v := unitsBefore(work, opts.StopAfter); v < stopV {
+			stopV = v
+		}
 	}
-	if stop < startCursor {
-		// A budget below a resumed checkpoint's frontier must not rewind it:
-		// the prefix [0, startCursor) is already processed and accounted for.
-		stop = startCursor
+	prefix := make([]int64, len(work)+1)
+	for i, sp := range work {
+		prefix[i+1] = prefix[i] + sp.Len()
 	}
 
-	// Workers claim fixed-size chunks of the enumeration index space from a
+	// Workers claim fixed-size chunks of the virtual offset space from a
 	// shared cursor and fold local bests. Each worker owns a subset source
-	// (stepping incrementally inside a chunk), a placement oracle, and a
+	// (stepping incrementally inside a span run), a placement oracle, and a
 	// scratch arena, so the steady-state evaluation loop allocates nothing.
 	// The reduction — most served users, then smallest enumeration index —
 	// is associative and order-independent, so the chosen deployment never
@@ -259,9 +288,10 @@ func Approx(ctx context.Context, in *Instance, opts Options) (*Deployment, error
 	//
 	// Cancellation is checked between chunks, never inside one: a claimed
 	// chunk is always finished. That bounds the drain latency by one chunk
-	// (16 subset evaluations) and makes the processed indices the exact
-	// contiguous prefix [startCursor, min(cursor, stop)), which is what lets
-	// a checkpoint record a single cursor instead of a bitmap.
+	// (16 subset evaluations) and makes the processed offsets the exact
+	// contiguous prefix [0, min(cursor, stopV)) of the work list, which is
+	// what lets a checkpoint record a cursor (plus the work list's holes,
+	// if any) instead of a bitmap.
 	type workerOut struct {
 		best              subsetResult
 		pruned, evaluated int64
@@ -269,15 +299,15 @@ func Approx(ctx context.Context, in *Instance, opts Options) (*Deployment, error
 	}
 	results := make(chan workerOut, opts.Workers)
 	var cursor atomic.Int64
-	cursor.Store(startCursor)
 	var abort atomic.Bool
 	const chunk = 16 // subsets per claim: small enough to balance load, large enough to amortize stepping
 
 	// Shared live counters feeding the Progress hook; workers fold their
 	// per-chunk deltas in after finishing each chunk, so the monitor's reads
-	// are cheap and the hot per-subset loop stays atomics-free.
+	// are cheap and the hot per-subset loop stays atomics-free. progDone
+	// counts this run's processed units only (virtual offsets), starting at
+	// zero even on a resumed run.
 	var progDone, progEvaluated, progBestServed atomic.Int64
-	progDone.Store(startCursor)
 	progEvaluated.Store(baseEvaluated)
 	progBestServed.Store(int64(best.served))
 
@@ -299,45 +329,57 @@ func Approx(ctx context.Context, in *Instance, opts Options) (*Deployment, error
 				if ctx.Err() != nil {
 					return // drain: claimed chunks are complete, so the prefix stays exact
 				}
-				lo := cursor.Add(chunk) - chunk
-				if lo >= stop {
+				vlo := cursor.Add(chunk) - chunk
+				if vlo >= stopV {
 					return
 				}
-				hi := lo + chunk
-				if hi > stop {
-					hi = stop
+				vhi := vlo + chunk
+				if vhi > stopV {
+					vhi = stopV
 				}
 				chunkEvaluated, chunkPruned := int64(0), int64(0)
-				for idx := lo; idx < hi; idx++ {
-					anchors, err := src.at(idx)
-					if err != nil {
-						out.err = err
-						abort.Store(true)
-						return
+				// A chunk of virtual offsets may straddle span boundaries;
+				// walk it run by run, mapping each run back to real
+				// enumeration indices through the prefix sums. Within a run
+				// the source steps incrementally as before.
+				si := sort.Search(len(work), func(i int) bool { return prefix[i+1] > vlo })
+				for v := vlo; v < vhi; si++ {
+					idx := work[si].Start + (v - prefix[si])
+					runEnd := vhi
+					if prefix[si+1] < runEnd {
+						runEnd = prefix[si+1]
 					}
-					res, ok, wasPruned, err := evaluateSubset(in, idx, anchors, budget, q, caps, opts, oracle, scr)
-					if err != nil {
-						out.err = err
-						abort.Store(true)
-						return
-					}
-					if wasPruned {
-						chunkPruned++
-						continue
-					}
-					chunkEvaluated++
-					if ok && res.better(out.best) {
-						// res.locs aliases the scratch arena and is
-						// overwritten by the next evaluation; copy it into
-						// the worker-owned buffer before retaining.
-						bestLocs = append(bestLocs[:0], res.locs...)
-						res.locs = bestLocs
-						out.best = res
+					for ; v < runEnd; v, idx = v+1, idx+1 {
+						anchors, err := src.at(idx)
+						if err != nil {
+							out.err = err
+							abort.Store(true)
+							return
+						}
+						res, ok, wasPruned, err := evaluateSubset(in, idx, anchors, budget, q, caps, opts, oracle, scr)
+						if err != nil {
+							out.err = err
+							abort.Store(true)
+							return
+						}
+						if wasPruned {
+							chunkPruned++
+							continue
+						}
+						chunkEvaluated++
+						if ok && res.better(out.best) {
+							// res.locs aliases the scratch arena and is
+							// overwritten by the next evaluation; copy it into
+							// the worker-owned buffer before retaining.
+							bestLocs = append(bestLocs[:0], res.locs...)
+							res.locs = bestLocs
+							out.best = res
+						}
 					}
 				}
 				out.pruned += chunkPruned
 				out.evaluated += chunkEvaluated
-				progDone.Add(hi - lo)
+				progDone.Add(vhi - vlo)
 				progEvaluated.Add(chunkEvaluated)
 				for {
 					cur := progBestServed.Load()
@@ -353,22 +395,29 @@ func Approx(ctx context.Context, in *Instance, opts Options) (*Deployment, error
 	// through the hook. It never touches worker state, so it adds no
 	// contention to the evaluation path; Approx joins it before returning.
 	snapshot := func() Progress {
-		done := progDone.Load()
+		scopeDone := progDone.Load()
 		evaluated := progEvaluated.Load()
 		bestServed := progBestServed.Load()
 		if bestServed < 0 {
 			bestServed = 0
 		}
+		done := baseDone + scopeDone
 		p := Progress{
 			Done:       done,
-			Total:      total,
+			Total:      scope.Len(),
 			Evaluated:  evaluated,
 			Pruned:     done - evaluated,
 			BestServed: int(bestServed),
 			Elapsed:    time.Since(start), //uavlint:allow timenow -- progress snapshot output only
+			ScopeDone:  scopeDone,
+			ScopeTotal: stopV,
 		}
-		if newDone := done - startCursor; newDone > 0 && done < total {
-			p.ETA = time.Duration(float64(p.Elapsed) / float64(newDone) * float64(total-done))
+		// The rate and the remaining work both count only this run's own
+		// scope: a resumed prefix contributes no elapsed time, and work
+		// beyond a StopAfter budget will not be done this run, so neither
+		// may skew the ETA.
+		if scopeDone > 0 && scopeDone < stopV {
+			p.ETA = time.Duration(float64(p.Elapsed) / float64(scopeDone) * float64(stopV-scopeDone))
 		}
 		return p
 	}
@@ -419,53 +468,90 @@ func Approx(ctx context.Context, in *Instance, opts Options) (*Deployment, error
 	evaluated += baseEvaluated
 	pruned += basePruned
 
-	// frontier is the exact processed prefix: claims are contiguous from
-	// startCursor and every claimed chunk below stop was finished, so
-	// min(cursor, stop) indices are done and nothing beyond is.
-	frontier := cursor.Load()
-	if frontier > stop {
-		frontier = stop
+	// The processed virtual offsets are the exact prefix [0, vFrontier):
+	// claims are contiguous and every claimed chunk below stopV was
+	// finished. Mapping that prefix back through the work list yields the
+	// sub-ranges still unprocessed within the scope.
+	vFrontier := cursor.Load()
+	if vFrontier > stopV {
+		vFrontier = stopV
 	}
-	stopped := frontier < total
-	var runErr error
-	if stopped {
-		runErr = ctx.Err() // nil when only StopAfter cut the run short
-	}
+	rem := consumeUnits(work, vFrontier)
 
+	var status RunStatus
 	var cp *Checkpoint
-	if stopped {
-		cp = newCheckpoint(in, s, opts, total, sampled, frontier, evaluated, pruned, best)
+	var runErr error
+	switch {
+	case len(rem) > 0:
+		// Cancelled, deadline-expired, or StopAfter-budgeted before the
+		// scope was exhausted — sharded or not.
+		status = StatusStopped
+		runErr = ctx.Err() // nil when only StopAfter cut the run short
+		cp = newCheckpoint(in, s, opts, total, sampled, rem, evaluated, pruned, best)
+	case opts.Shard.sharded():
+		// The shard's own range is exhausted: emit the partial checkpoint
+		// MergeCheckpoints combines. Not an error — the run did all it was
+		// asked to.
+		status = StatusPartial
+		cp = newCheckpoint(in, s, opts, total, sampled, nil, evaluated, pruned, best)
+	default:
+		status = StatusComplete
 	}
-	if best.idx < 0 {
-		if stopped {
-			dep := emptyDeployment(in)
-			dep.Budget = budget
-			dep.SubsetsEvaluated = evaluated
-			dep.SubsetsPruned = pruned
-			dep.Status = StatusStopped
-			dep.Checkpoint = cp
-			return dep, runErr
-		}
-		return nil, fmt.Errorf("core: no feasible deployment: every anchor subset needs more than K=%d UAVs", k)
+	dep, err := assembleDeployment(in, s, opts, sampled, budget, best, evaluated, pruned, status, cp)
+	if err != nil {
+		return nil, err
 	}
+	return dep, runErr
+}
 
+// effectiveS clamps the requested anchor-subset size to the instance (s is
+// never above K or m) and rejects degenerate values; shared by Approx and
+// MergeCheckpoints so both agree on the enumeration space.
+func effectiveS(s, k, m int) (int, error) {
+	if s > k {
+		s = k
+	}
+	if s > m {
+		s = m
+	}
+	if s < 1 {
+		return 0, fmt.Errorf("core: cannot run approAlg with s < 1 (m=%d, K=%d)", m, k)
+	}
+	return s, nil
+}
+
+// assembleDeployment builds the returned Deployment from a finished
+// reduction. Approx and MergeCheckpoints both end here, which is what makes
+// a merged shard result field-for-field identical to the unsharded run's:
+// same finalization, same anchor reconstruction, same counters, same
+// "no feasible deployment" error on a complete search with no best.
+func assembleDeployment(in *Instance, s int, opts Options, sampled bool, budget Budget, best subsetResult, evaluated, pruned int64, status RunStatus, cp *Checkpoint) (*Deployment, error) {
+	if best.idx < 0 {
+		if status == StatusComplete {
+			return nil, fmt.Errorf("core: no feasible deployment: every anchor subset needs more than K=%d UAVs", in.Scenario.K())
+		}
+		dep := emptyDeployment(in)
+		dep.Budget = budget
+		dep.SubsetsEvaluated = evaluated
+		dep.SubsetsPruned = pruned
+		dep.Status = status
+		dep.Checkpoint = cp
+		return dep, nil
+	}
 	dep, err := finalizeDeployment(in, best)
 	if err != nil {
 		return nil, err
 	}
 	dep.Algorithm = "approAlg"
 	dep.Budget = budget
-	if anchors, err := newSubsetSource(m, s, opts, sampled).at(best.idx); err == nil {
+	if anchors, err := newSubsetSource(in.Scenario.M(), s, opts, sampled).at(best.idx); err == nil {
 		dep.Anchors = append([]int(nil), anchors...)
 	}
 	dep.SubsetsEvaluated = evaluated
 	dep.SubsetsPruned = pruned
-	dep.Status = StatusComplete
-	if stopped {
-		dep.Status = StatusStopped
-		dep.Checkpoint = cp
-	}
-	return dep, runErr
+	dep.Status = status
+	dep.Checkpoint = cp
+	return dep, nil
 }
 
 // emptyDeployment is the all-grounded placement a stopped run returns when

@@ -17,17 +17,25 @@ const (
 	// deadline, or Options.StopAfter. The deployment is the best found so
 	// far (possibly empty) and its Checkpoint field resumes the run.
 	StatusStopped RunStatus = "stopped"
+	// StatusPartial marks a sharded run (Options.Shard) that exhausted its
+	// own shard range: the deployment is the best over that range only, and
+	// its Checkpoint is the partial state MergeCheckpoints combines into the
+	// final result. A sharded run stopped before finishing its range reports
+	// StatusStopped, exactly like an unsharded one.
+	StatusPartial RunStatus = "partial"
 )
 
 // Progress is a point-in-time snapshot of a running enumeration, delivered
 // to the Options.Progress hook from a monitor goroutine and once more,
 // synchronously, just before Approx returns.
 type Progress struct {
-	// Done counts the enumeration indices fully processed so far, including
-	// any prefix covered by a resumed checkpoint. Done = Evaluated + Pruned.
+	// Done counts the enumeration indices of this run's range fully
+	// processed so far, including any prefix covered by a resumed
+	// checkpoint. Done = Evaluated + Pruned.
 	Done int64
-	// Total is the full enumeration size for this run (C(m, s), or
-	// MaxSubsets when sampling).
+	// Total is the enumeration range size for this run: C(m, s) (or
+	// MaxSubsets when sampling), or the shard's range size under
+	// Options.Shard.
 	Total int64
 	// Evaluated and Pruned split Done into subsets actually scored and
 	// subsets skipped by the sound pruning rule.
@@ -38,8 +46,18 @@ type Progress struct {
 	// Elapsed is the wall-clock time since this Approx call started (a
 	// resumed run's clock restarts at zero).
 	Elapsed time.Duration
-	// ETA estimates the remaining wall-clock time from the observed
-	// processing rate of this run; zero until the rate is measurable.
+	// ScopeDone and ScopeTotal count only this run's own claimable work:
+	// the indices left after subtracting a resumed checkpoint's prefix and
+	// truncating to the StopAfter budget. ScopeDone therefore starts at 0
+	// even on a resumed run, and ScopeDone == ScopeTotal exactly when the
+	// run finished everything it was asked to do this invocation.
+	ScopeDone, ScopeTotal int64
+	// ETA estimates the remaining wall-clock time to finish this run's
+	// scope, from the processing rate observed this run
+	// (Elapsed/ScopeDone): a resumed checkpoint's pre-existing prefix
+	// counts toward neither the rate nor the remaining work, and a
+	// StopAfter-budgeted run's ETA reaches zero when the budget — not the
+	// whole enumeration — is exhausted. Zero until the rate is measurable.
 	ETA time.Duration
 }
 
@@ -48,8 +66,13 @@ type Progress struct {
 // uninterrupted run. It is valid because the enumeration is deterministic in
 // (Seed, index): workers claim contiguous chunks from an atomic cursor and
 // always finish a claimed chunk before honoring cancellation, so the
-// processed indices form the exact prefix [0, Cursor) and the sampling RNG
-// needs no state beyond Seed (each index reseeds it — see subsetSource).
+// processed indices form an exact prefix of the run's range and the sampling
+// RNG needs no state beyond Seed (each index reseeds it — see subsetSource).
+//
+// A sharded run (Options.Shard) freezes the same state for its own
+// sub-range, tagged with Shard; MergeCheckpoints combines such partials. A
+// merged checkpoint of incompletely-processed shards is the one case where
+// the done set is not a single prefix — its holes are listed in Remaining.
 type Checkpoint struct {
 	// Algorithm is always "approAlg"; resuming rejects anything else.
 	Algorithm string `json:"algorithm"`
@@ -74,14 +97,57 @@ type Checkpoint struct {
 	// random draws rather than colex combinations.
 	Total   int64 `json:"total_subsets"`
 	Sampled bool  `json:"sampled,omitempty"`
-	// Cursor is the exact processed frontier: every index < Cursor has been
-	// evaluated or pruned, no index >= Cursor has.
+	// Shard, when non-nil, marks a partial checkpoint: the run covered only
+	// the tagged shard's sub-range of the enumeration (see ShardSpec.Range).
+	// Resuming requires the same Options.Shard; MergeCheckpoints combines a
+	// full set of partials into the unsharded result.
+	Shard *ShardRange `json:"shard,omitempty"`
+	// Cursor is the processed frontier within the checkpoint's range: every
+	// index in [Range().Start, Cursor) has been evaluated or pruned and —
+	// unless Remaining says otherwise — no index at or beyond Cursor has.
 	Cursor int64 `json:"cursor"`
-	// Evaluated and Pruned are the counter values over [0, Cursor).
+	// Remaining lists the still-unprocessed sub-ranges when the done set is
+	// not a single prefix, which only merged checkpoints produce (some
+	// shards finished, others did not). The spans are ascending, disjoint,
+	// non-touching, and start at Cursor; when the unprocessed set is the
+	// plain suffix [Cursor, Range().End) — every directly-emitted
+	// checkpoint — Remaining is omitted, keeping the format of pre-shard
+	// checkpoints byte-compatible.
+	Remaining []Span `json:"remaining,omitempty"`
+	// Evaluated and Pruned are the counter values over the processed set.
 	Evaluated int64 `json:"evaluated"`
 	Pruned    int64 `json:"pruned"`
-	// Best is the best feasible subset over [0, Cursor), or nil if none.
+	// Best is the best feasible subset over the processed set, or nil.
 	Best *CheckpointBest `json:"best,omitempty"`
+}
+
+// Range returns the enumeration sub-range the checkpoint covers: its
+// shard's range for a partial checkpoint, the whole [0, Total) otherwise.
+func (c *Checkpoint) Range() Span {
+	if c.Shard != nil {
+		return Span{Start: c.Shard.Start, End: c.Shard.End}
+	}
+	return Span{Start: 0, End: c.Total}
+}
+
+// Complete reports whether every index of the checkpoint's range has been
+// processed — nothing is left to resume.
+func (c *Checkpoint) Complete() bool { return len(c.remaining()) == 0 }
+
+// RemainingSpans returns a copy of the checkpoint's unprocessed sub-ranges,
+// in ascending order; empty when the checkpoint is complete.
+func (c *Checkpoint) RemainingSpans() []Span { return append([]Span(nil), c.remaining()...) }
+
+// remaining is the unprocessed set: the explicit Remaining list when
+// present, else the suffix [Cursor, Range().End), else nothing.
+func (c *Checkpoint) remaining() []Span {
+	if len(c.Remaining) > 0 {
+		return c.Remaining
+	}
+	if r := c.Range(); c.Cursor < r.End {
+		return []Span{{Start: c.Cursor, End: r.End}}
+	}
+	return nil
 }
 
 // CheckpointBest is the winning subsetResult of the processed prefix.
@@ -156,18 +222,63 @@ func (c *Checkpoint) validate(in *Instance, s int, opts Options, total int64, sa
 	if sampled != c.Sampled {
 		return mismatch("sampled", sampled, c.Sampled)
 	}
-	if c.Cursor < 0 || c.Cursor > total {
-		return fmt.Errorf("core: checkpoint cursor %d out of range [0, %d]", c.Cursor, total)
+	if opts.Shard.sharded() {
+		want := opts.Shard.Range(total)
+		switch {
+		case c.Shard == nil:
+			return mismatch("shard", fmt.Sprintf("%d/%d", opts.Shard.Index, opts.Shard.Count), "an unsharded checkpoint")
+		case c.Shard.Index != opts.Shard.Index || c.Shard.Count != opts.Shard.Count:
+			return mismatch("shard", fmt.Sprintf("%d/%d", opts.Shard.Index, opts.Shard.Count), fmt.Sprintf("%d/%d", c.Shard.Index, c.Shard.Count))
+		case c.Shard.Start != want.Start || c.Shard.End != want.End:
+			// The recorded bounds are redundant; a mismatch means the file
+			// was edited or produced by an incompatible splitter.
+			return fmt.Errorf("core: checkpoint shard %d/%d records range [%d, %d), want [%d, %d)",
+				c.Shard.Index, c.Shard.Count, c.Shard.Start, c.Shard.End, want.Start, want.End)
+		}
+	} else if c.Shard != nil {
+		return mismatch("shard", "none", fmt.Sprintf("%d/%d", c.Shard.Index, c.Shard.Count))
 	}
-	if c.Best != nil && (c.Best.Idx < 0 || c.Best.Idx >= c.Cursor) {
-		return fmt.Errorf("core: checkpoint best index %d outside processed prefix [0, %d)", c.Best.Idx, c.Cursor)
+	r := c.Range()
+	if c.Cursor < r.Start || c.Cursor > r.End {
+		return fmt.Errorf("core: checkpoint cursor %d out of range [%d, %d]", c.Cursor, r.Start, r.End)
+	}
+	if c.Remaining != nil {
+		if c.Shard != nil {
+			return fmt.Errorf("core: partial shard checkpoints are contiguous; remaining ranges are only valid on merged checkpoints")
+		}
+		if len(c.Remaining) == 0 {
+			return fmt.Errorf("core: checkpoint remaining list is empty; omit it when nothing is left")
+		}
+		prevEnd := int64(-1)
+		for i, sp := range c.Remaining {
+			if sp.Start >= sp.End {
+				return fmt.Errorf("core: checkpoint remaining range [%d, %d) is empty or inverted", sp.Start, sp.End)
+			}
+			if sp.Start < r.Start || sp.End > r.End {
+				return fmt.Errorf("core: checkpoint remaining range [%d, %d) outside [%d, %d)", sp.Start, sp.End, r.Start, r.End)
+			}
+			if i > 0 && sp.Start <= prevEnd {
+				return fmt.Errorf("core: checkpoint remaining ranges must be ascending, disjoint, and coalesced")
+			}
+			prevEnd = sp.End
+		}
+		if c.Cursor != c.Remaining[0].Start {
+			return fmt.Errorf("core: checkpoint cursor %d disagrees with first remaining range start %d", c.Cursor, c.Remaining[0].Start)
+		}
+	}
+	if c.Best != nil && (!r.contains(c.Best.Idx) || inSpans(c.remaining(), c.Best.Idx)) {
+		return fmt.Errorf("core: checkpoint best index %d outside the processed set", c.Best.Idx)
 	}
 	return nil
 }
 
-// newCheckpoint freezes the state of a stopped run. best.idx < 0 means no
-// feasible subset was found in the processed prefix.
-func newCheckpoint(in *Instance, s int, opts Options, total int64, sampled bool, cursor, evaluated, pruned int64, best subsetResult) *Checkpoint {
+// newCheckpoint freezes the state of a stopped, partial, or merged run.
+// remaining lists the unprocessed sub-ranges of the run's range (ascending,
+// disjoint, coalesced; nil/empty when the range is fully processed); the
+// encoding is canonical — a plain suffix collapses into Cursor, only true
+// holes materialize as Remaining. best.idx < 0 means no feasible subset was
+// found in the processed set.
+func newCheckpoint(in *Instance, s int, opts Options, total int64, sampled bool, remaining []Span, evaluated, pruned int64, best subsetResult) *Checkpoint {
 	c := &Checkpoint{
 		Algorithm:           "approAlg",
 		ScenarioFingerprint: in.Fingerprint(),
@@ -179,9 +290,21 @@ func newCheckpoint(in *Instance, s int, opts Options, total int64, sampled bool,
 		RequiredCells:       append([]int(nil), opts.RequiredCells...),
 		Total:               total,
 		Sampled:             sampled,
-		Cursor:              cursor,
 		Evaluated:           evaluated,
 		Pruned:              pruned,
+	}
+	r := opts.Shard.Range(total)
+	if opts.Shard.sharded() {
+		c.Shard = &ShardRange{Index: opts.Shard.Index, Count: opts.Shard.Count, Start: r.Start, End: r.End}
+	}
+	switch {
+	case len(remaining) == 0:
+		c.Cursor = r.End
+	case len(remaining) == 1 && remaining[0].End == r.End:
+		c.Cursor = remaining[0].Start
+	default:
+		c.Cursor = remaining[0].Start
+		c.Remaining = append([]Span(nil), remaining...)
 	}
 	if best.idx >= 0 {
 		c.Best = &CheckpointBest{

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"math/rand"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -326,5 +327,72 @@ func TestScenarioFingerprint(t *testing.T) {
 	c.UAVs[0].Capacity++
 	if a.Fingerprint() == c.Fingerprint() {
 		t.Error("fleet change did not move the fingerprint")
+	}
+}
+
+// TestResumeProgressCountsThisRunOnly pins the resume-time progress fix: the
+// rate and ETA must be computed from the work this run actually did, not
+// from a cursor that includes the resumed checkpoint's prefix. The resumed
+// run below gets a budget of exactly 8 indices beyond the checkpoint, so its
+// final snapshot must report ScopeDone == ScopeTotal == 8 with a zero ETA —
+// under the old cursor-based formula the pre-resume prefix would have
+// inflated the apparent rate and the un-budgeted tail would have kept the
+// ETA non-zero even though the run was finished.
+func TestResumeProgressCountsThisRunOnly(t *testing.T) {
+	in := runControlScenario(t)
+	total := int64(560) // C(16, 3)
+
+	cut := Options{S: 3, Workers: 2, StopAfter: total / 2}
+	part, err := Approx(context.Background(), in, cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := part.Checkpoint
+	if cp == nil || cp.Cursor != total/2 {
+		t.Fatalf("cut checkpoint %+v", cp)
+	}
+
+	var mu sync.Mutex
+	var last Progress
+	calls := 0
+	opts := Options{
+		S: 3, Workers: 2,
+		Resume:    cp,
+		StopAfter: cp.Cursor + 8,
+		Progress: func(p Progress) {
+			mu.Lock()
+			last = p
+			calls++
+			mu.Unlock()
+		},
+		// Only the final synchronous snapshot fires within the test.
+		ProgressInterval: time.Hour,
+	}
+	dep, err := Approx(context.Background(), in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Status != StatusStopped {
+		t.Fatalf("status %q, want stopped by budget", dep.Status)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls == 0 {
+		t.Fatal("progress hook never called")
+	}
+	if last.ScopeTotal != 8 || last.ScopeDone != 8 {
+		t.Errorf("scope = %d/%d, want 8/8: this run's claimable work is the budget beyond the checkpoint", last.ScopeDone, last.ScopeTotal)
+	}
+	if last.ETA != 0 {
+		t.Errorf("ETA = %s at scope completion, want 0: neither the resumed prefix nor work beyond the budget may feed the estimate", last.ETA)
+	}
+	if last.Done != cp.Cursor+8 {
+		t.Errorf("Done = %d, want %d (resumed prefix plus this run's work)", last.Done, cp.Cursor+8)
+	}
+	if last.Total != total {
+		t.Errorf("Total = %d, want %d", last.Total, total)
+	}
+	if last.Done != last.Evaluated+last.Pruned {
+		t.Errorf("Done %d != Evaluated %d + Pruned %d", last.Done, last.Evaluated, last.Pruned)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"github.com/uav-coverage/uavnet/internal/core"
 )
@@ -44,13 +45,45 @@ func UnmarshalScenario(data []byte) (*Scenario, error) {
 	return f.Scenario, nil
 }
 
-// SaveScenario writes a scenario to path as JSON.
+// writeFileAtomic writes data to path via a unique temp file in the same
+// directory renamed into place. A crash mid-write — even SIGKILL — can then
+// never leave a truncated file at path: readers observe the old content or
+// the new, nothing in between. Same-directory placement keeps the rename on
+// one filesystem, where it is atomic.
+func writeFileAtomic(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp-")
+	if err != nil {
+		return err
+	}
+	_, err = tmp.Write(data)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		// CreateTemp opens mode 0600; match the 0644 a direct write used.
+		err = os.Chmod(tmp.Name(), 0o644)
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), path)
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// SaveScenario writes a scenario to path as JSON, atomically.
 func SaveScenario(path string, sc *Scenario) error {
 	data, err := MarshalScenario(sc)
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+	if err := writeFileAtomic(path, append(data, '\n')); err != nil {
 		return fmt.Errorf("uavnet: %w", err)
 	}
 	return nil
@@ -66,7 +99,9 @@ func LoadScenario(path string) (*Scenario, error) {
 }
 
 // SaveCheckpoint writes a stopped run's checkpoint to path as JSON, ready
-// for LoadCheckpoint and Options.Resume.
+// for LoadCheckpoint and Options.Resume. The write is atomic (temp file plus
+// rename), so an interrupted save can never leave a truncated checkpoint
+// that would block resuming — the previous file survives instead.
 func SaveCheckpoint(path string, cp *Checkpoint) error {
 	if cp == nil {
 		return fmt.Errorf("uavnet: nil checkpoint")
@@ -75,7 +110,7 @@ func SaveCheckpoint(path string, cp *Checkpoint) error {
 	if err != nil {
 		return fmt.Errorf("uavnet: %w", err)
 	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+	if err := writeFileAtomic(path, append(data, '\n')); err != nil {
 		return fmt.Errorf("uavnet: %w", err)
 	}
 	return nil
@@ -108,13 +143,13 @@ func MarshalDeployment(dep *Deployment) ([]byte, error) {
 	return json.MarshalIndent(dep, "", "  ")
 }
 
-// SaveDeployment writes a deployment to path as JSON.
+// SaveDeployment writes a deployment to path as JSON, atomically.
 func SaveDeployment(path string, dep *Deployment) error {
 	data, err := MarshalDeployment(dep)
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+	if err := writeFileAtomic(path, append(data, '\n')); err != nil {
 		return fmt.Errorf("uavnet: %w", err)
 	}
 	return nil

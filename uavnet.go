@@ -63,20 +63,43 @@ func NewInstance(sc *Scenario) (*Instance, error) { return core.NewInstance(sc) 
 // the deployment's Checkpoint field (re-loadable via LoadCheckpoint) resumes
 // it through Options.Resume.
 type (
-	// RunStatus tags how an approAlg run ended (StatusComplete or
-	// StatusStopped).
+	// RunStatus tags how an approAlg run ended (StatusComplete,
+	// StatusStopped, or StatusPartial for sharded runs).
 	RunStatus = core.RunStatus
 	// RunProgress is the periodic snapshot delivered to Options.Progress.
 	RunProgress = core.Progress
 	// Checkpoint freezes a stopped approAlg run for later resumption.
 	Checkpoint = core.Checkpoint
+	// ShardSpec names one shard of a sharded enumeration (Options.Shard):
+	// shard Index of Count, covering a deterministic contiguous sub-range
+	// of the index space.
+	ShardSpec = core.ShardSpec
+	// ShardRange tags a partial checkpoint with the shard that produced it.
+	ShardRange = core.ShardRange
+	// Span is a half-open range of enumeration indices, used by merged
+	// checkpoints to list still-unprocessed sub-ranges.
+	Span = core.Span
+	// ShardPool solves an instance as several sharded runs in-process and
+	// merges the partials; the result is byte-identical to the unsharded
+	// solve.
+	ShardPool = core.ShardPool
 )
 
 // Run statuses.
 const (
 	StatusComplete = core.StatusComplete
 	StatusStopped  = core.StatusStopped
+	StatusPartial  = core.StatusPartial
 )
+
+// MergeCheckpoints combines the partial checkpoints of a sharded run (same
+// scenario, same options; ranges must tile the enumeration exactly) into the
+// final deployment, byte-identical to an unsharded run's. When some shards
+// are incomplete it returns a StatusStopped deployment whose Checkpoint is
+// the merged resumable state instead (see core.MergeCheckpoints).
+func MergeCheckpoints(in *Instance, opts Options, cps []*Checkpoint) (*Deployment, error) {
+	return core.MergeCheckpoints(in, opts, cps)
+}
 
 // Deploy runs the paper's approximation algorithm (Algorithm 2, approAlg)
 // and returns the best deployment found. The scenario is validated and
