@@ -41,6 +41,8 @@ func run() error {
 		smax       = flag.Int("smax", 4, "largest s for Fig. 6")
 		workers    = flag.Int("workers", 0, "approAlg worker goroutines (0 = all cores)")
 		maxSubsets = flag.Int("max-subsets", 0, "approAlg anchor-subset cap (0 = exhaustive)")
+		solver     = flag.String("solver", "enum", "replace the enumeration in Figs. 4-6: enum | anneal | tabu | grasp | genetic | portfolio")
+		budget     = flag.Int64("budget", 0, "evaluations per -solver member (0 = default)")
 		csvPath    = flag.String("csv", "", "also write results as CSV to this file (one block per figure)")
 		quiet      = flag.Bool("q", false, "suppress per-run progress")
 		literal    = flag.Bool("literal", false, "run approAlg exactly as the paper's pseudocode (ground leftover UAVs)")
@@ -89,12 +91,14 @@ func run() error {
 
 	base, ks, ns, ss := figureSettings(*scale, *smax)
 	cfg := eval.Config{
-		Base:       base,
-		S:          *s,
-		Workers:    *workers,
-		MaxSubsets: *maxSubsets,
-		Literal:    *literal,
-		Context:    ctx,
+		Base:         base,
+		S:            *s,
+		Workers:      *workers,
+		MaxSubsets:   *maxSubsets,
+		Literal:      *literal,
+		Solver:       *solver,
+		SolverBudget: *budget,
+		Context:      ctx,
 	}
 	for i := 0; i < *seeds; i++ {
 		cfg.Seeds = append(cfg.Seeds, int64(i+1))

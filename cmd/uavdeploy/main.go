@@ -33,6 +33,18 @@
 // deployment is byte-identical to the unsharded run. An interrupted sharded
 // run writes a merged checkpoint (-checkpoint) that a plain -resume run
 // continues. For multi-process or multi-box sharding, see cmd/uavshard.
+//
+// Large m (metaheuristic portfolio):
+//
+//	uavdeploy -scenario huge.json -solver portfolio     # race all four members
+//	uavdeploy -scenario huge.json -solver anneal -budget 200000
+//
+// When C(m,s) makes the enumeration hopeless, -solver replaces it with a
+// budgeted local search (anneal | tabu | grasp | genetic | portfolio = race
+// all four). -budget caps the anchor-subset evaluations per member (0 = a
+// sensible default); same seed + same budget reproduces the deployment
+// byte-for-byte. -timeout/-checkpoint/-resume work as for the enumeration —
+// a portfolio checkpoint freezes every member's search state.
 package main
 
 import (
@@ -63,9 +75,11 @@ func run() error {
 		workers      = flag.Int("workers", 0, "approAlg worker goroutines (0 = all cores)")
 		shards       = flag.Int("shards", 0, "split the approAlg enumeration into this many in-process shards solved concurrently and merged (result identical to unsharded; 0/1 = off)")
 		maxSubsets   = flag.Int("max-subsets", 0, "approAlg anchor-subset cap (0 = exhaustive)")
+		solver       = flag.String("solver", "enum", "anchor-subset solver: enum | anneal | tabu | grasp | genetic | portfolio (race all four)")
+		budget       = flag.Int64("budget", 0, "evaluations per solver member for -solver (0 = default; enum ignores it)")
 		n            = flag.Int("n", 500, "users when generating inline")
 		k            = flag.Int("k", 8, "UAVs when generating inline")
-		seed         = flag.Int64("seed", 1, "seed when generating inline")
+		seed         = flag.Int64("seed", 1, "seed when generating inline; also drives the -solver RNGs")
 		showMap      = flag.Bool("map", true, "print the ASCII placement map")
 		literal      = flag.Bool("literal", false, "run approAlg exactly as the paper's pseudocode (ground leftover UAVs)")
 		refine       = flag.Bool("refine", false, "refine the assignment to minimize total pathloss")
@@ -103,6 +117,21 @@ func run() error {
 	names := []string{*alg}
 	if *alg == "all" {
 		names = uavnet.AlgorithmNames()
+	}
+	solverIsEnum := *solver == "" || *solver == "enum"
+	if !solverIsEnum {
+		switch {
+		case *alg != "approAlg":
+			return fmt.Errorf("-solver replaces the approAlg enumeration; it needs -alg approAlg")
+		case *shards > 1:
+			return fmt.Errorf("-shards and -solver are incompatible: the metaheuristics do not enumerate")
+		case *maxSubsets != 0:
+			return fmt.Errorf("-max-subsets and -solver are incompatible: cap work with -budget instead")
+		case *gatewayAt != "":
+			return fmt.Errorf("-gateway and -solver are incompatible: gateway planning needs the enumeration's required-cell filter")
+		}
+	} else if *budget != 0 {
+		return fmt.Errorf("-budget needs a metaheuristic -solver (anneal | tabu | grasp | genetic | portfolio)")
 	}
 	if *shards > 1 {
 		// The in-process shard pool owns resume and progress (see
@@ -145,25 +174,67 @@ func run() error {
 			len(dem.Cells), dem.Grid.Side, in.Fingerprint())
 	}
 	fmt.Println()
-	opts := uavnet.Options{S: *s, Workers: *workers, MaxSubsets: *maxSubsets, GroundLeftovers: *literal}
+	opts := uavnet.Options{
+		S: *s, Workers: *workers, MaxSubsets: *maxSubsets, GroundLeftovers: *literal,
+		Solver: *solver, SolverBudget: *budget,
+	}
+	if !solverIsEnum {
+		// -seed drives the solver RNGs; enum runs keep Seed zero so existing
+		// -max-subsets checkpoints stay resumable.
+		opts.Seed = *seed
+	}
 	if *progressIntv > 0 {
 		opts.ProgressInterval = *progressIntv
 		opts.Progress = printProgress
 	}
+	var portfolioResume *uavnet.PortfolioCheckpoint
 	if *resumePath != "" {
-		cp, err := uavnet.LoadCheckpoint(*resumePath)
-		if err != nil {
-			return err
+		if solverIsEnum {
+			cp, err := uavnet.LoadCheckpoint(*resumePath)
+			if err != nil {
+				return err
+			}
+			opts.Resume = cp
+			fmt.Printf("resuming from %s: cursor %d / %d subsets\n", *resumePath, cp.Cursor, cp.Total)
+		} else {
+			portfolioResume, err = uavnet.LoadPortfolioCheckpoint(*resumePath)
+			if err != nil {
+				return err
+			}
+			var spent int64
+			for _, m := range portfolioResume.Members {
+				spent += m.Evals
+			}
+			fmt.Printf("resuming from %s: %d members, %d evaluations spent\n",
+				*resumePath, len(portfolioResume.Members), spent)
 		}
-		opts.Resume = cp
-		fmt.Printf("resuming from %s: cursor %d / %d subsets\n", *resumePath, cp.Cursor, cp.Total)
 	}
 
 	var runErr error
 	for _, name := range names {
 		start := time.Now()
 		var dep *uavnet.Deployment
+		portfolioCkptSaved := false
 		switch {
+		case name == "approAlg" && !solverIsEnum:
+			// Metaheuristic path: the race returns its own checkpoint type
+			// (per-member search states), saved here because dep.Checkpoint
+			// only carries enumeration checkpoints.
+			d, pcp, err := uavnet.DeployPortfolioContext(ctx, in, opts, portfolioResume)
+			if pcp != nil && *ckptPath != "" {
+				if serr := uavnet.SavePortfolioCheckpoint(*ckptPath, pcp); serr != nil {
+					return fmt.Errorf("%s: checkpoint: %w", name, serr)
+				}
+				portfolioCkptSaved = true
+			}
+			if err != nil && d == nil {
+				if portfolioCkptSaved {
+					fmt.Printf("run stopped before any feasible deployment; resume with -resume %s\n", *ckptPath)
+				}
+				return fmt.Errorf("%s (-solver %s): %w", name, *solver, err)
+			}
+			dep = d
+			runErr = errors.Join(runErr, err)
 		case *gatewayAt != "" && name == "approAlg":
 			// approAlg plans the gateway in: its cells become required anchors.
 			gw, err := parseGateway(*gatewayAt)
@@ -218,13 +289,17 @@ func run() error {
 		elapsed := time.Since(start)
 		report(in, dep, elapsed, *showMap)
 		if dep.Status == uavnet.StatusStopped {
-			if *ckptPath != "" && dep.Checkpoint != nil {
+			switch {
+			case *ckptPath != "" && dep.Checkpoint != nil:
 				if err := uavnet.SaveCheckpoint(*ckptPath, dep.Checkpoint); err != nil {
 					return fmt.Errorf("%s: checkpoint: %w", name, err)
 				}
 				fmt.Printf("run stopped at subset %d / %d; resume with -resume %s\n\n",
 					dep.Checkpoint.Cursor, dep.Checkpoint.Total, *ckptPath)
-			} else {
+			case portfolioCkptSaved:
+				fmt.Printf("run stopped after %d evaluations; resume with -resume %s\n\n",
+					dep.SubsetsEvaluated, *ckptPath)
+			default:
 				fmt.Printf("run stopped early; pass -checkpoint to make it resumable\n\n")
 			}
 		}
@@ -262,6 +337,20 @@ func maxI64(a, b int64) int64 {
 	return b
 }
 
+// isSolverAlg reports whether the deployment came from the metaheuristic
+// portfolio ("anneal" .. "genetic" when a single member ran, or
+// "portfolio/<member>" naming the race's winner).
+func isSolverAlg(name string) bool {
+	if strings.HasPrefix(name, "portfolio/") {
+		return true
+	}
+	switch name {
+	case "anneal", "tabu", "grasp", "genetic":
+		return true
+	}
+	return false
+}
+
 // parseGateway parses an "x,y" position in meters.
 func parseGateway(s string) (uavnet.Gateway, error) {
 	var x, y float64
@@ -279,11 +368,16 @@ func report(in *uavnet.Instance, dep *uavnet.Deployment, elapsed time.Duration, 
 	fmt.Printf("deployed UAVs:  %d / %d\n", dep.DeployedCount(), sc.K())
 	fmt.Printf("connected:      %v\n", uavnet.Connected(in, dep))
 	fmt.Printf("elapsed:        %s\n", elapsed.Round(time.Millisecond))
-	if dep.Algorithm == "approAlg" {
+	switch {
+	case dep.Algorithm == "approAlg":
 		fmt.Printf("budget:         L_max=%d s=%d (ratio %.3f)\n",
 			dep.Budget.LMax, dep.Budget.S, uavnet.ApproxRatio(sc.K(), dep.Budget.S))
 		fmt.Printf("subsets:        %d evaluated, %d pruned\n",
 			dep.SubsetsEvaluated, dep.SubsetsPruned)
+	case isSolverAlg(dep.Algorithm):
+		fmt.Printf("budget:         L_max=%d s=%d\n", dep.Budget.LMax, dep.Budget.S)
+		fmt.Printf("evaluations:    %d (metaheuristic search; no enumeration)\n",
+			dep.SubsetsEvaluated)
 	}
 	fmt.Println("per-UAV load (capacity):")
 	for uav, loc := range dep.LocationOf {

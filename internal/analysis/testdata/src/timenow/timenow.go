@@ -19,3 +19,31 @@ func pure(d time.Duration) time.Duration { return 2 * d }
 func sanctioned() time.Time {
 	return time.Now() //uavlint:allow timenow -- fixture: progress clock
 }
+
+// wallClockSchedule is the solver anti-pattern the analyzer exists to catch:
+// an annealing temperature driven by elapsed wall time instead of the step
+// index. The trajectory would depend on machine speed and scheduling, so a
+// checkpointed run could never resume byte-identically.
+func wallClockSchedule(t0 time.Time, t0Temp float64) float64 {
+	elapsed := time.Since(t0) // want `time.Since\(\) reads the wall clock`
+	return t0Temp / (1 + elapsed.Seconds())
+}
+
+// wallClockDeadline schedules solver work off the wall clock: also flagged.
+func wallClockDeadline() <-chan time.Time {
+	return time.After(time.Second) // want `time.After\(\) schedules on the wall clock`
+}
+
+func wallClockTicker() <-chan time.Time {
+	return time.Tick(time.Second) // want `time.Tick\(\) schedules on the wall clock`
+}
+
+// stepIndexedSchedule is the sanctioned shape: temperature as a pure function
+// of the step counter. Nothing to flag.
+func stepIndexedSchedule(step int64, t0Temp, alpha float64) float64 {
+	t := t0Temp
+	for i := int64(0); i < step; i++ {
+		t *= alpha
+	}
+	return t
+}

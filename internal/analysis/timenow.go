@@ -5,17 +5,23 @@ import (
 	"strings"
 )
 
-// TimeNow rejects wall-clock reads (time.Now, time.Since) in library code.
+// TimeNow rejects wall-clock reads (time.Now, time.Since) and wall-clock
+// scheduling primitives (time.After, time.Tick) in library code.
 // Checkpoint/resume reproducibility (PR 4) requires that solver decisions be
 // pure functions of (scenario, options, seed); a wall-clock read on a solver
 // path is either dead weight or a determinism leak waiting to influence a
-// branch. The sanctioned sites — the progress reporter's ETA clock and the
-// eval harness's elapsed-time metrics, where wall time is the *output* and
-// never feeds a decision — carry //uavlint:allow timenow with a reason.
+// branch. The portfolio solvers (PR 8) lean on this: an annealing cooling
+// schedule or tabu tenure driven by time.Now/time.After would make the
+// trajectory machine-dependent, so schedules must be step-indexed — the
+// analyzer proves no solver package reads the clock. The sanctioned sites —
+// the progress reporter's ETA clock and the eval harness's elapsed-time
+// metrics, where wall time is the *output* and never feeds a decision —
+// carry //uavlint:allow timenow with a reason. time.NewTicker stays legal:
+// it only drives progress-monitor goroutines, whose output is advisory.
 // cmd/ binaries and tests are exempt.
 var TimeNow = &Analyzer{
 	Name: "timenow",
-	Doc:  "flag time.Now()/time.Since() outside sanctioned progress/metrics sites",
+	Doc:  "flag time.Now()/time.Since()/time.After()/time.Tick() outside sanctioned progress/metrics sites",
 	Run:  runTimeNow,
 }
 
@@ -32,9 +38,13 @@ func runTimeNow(pass *Pass) error {
 			if !ok {
 				return true
 			}
-			if pkg, name, ok := packageFunc(pass.Info, call); ok && pkg == "time" &&
-				(name == "Now" || name == "Since") {
-				pass.Reportf(call.Pos(), "time.%s() reads the wall clock on a library path; solver decisions must be (scenario, options, seed)-pure — keep clock reads to sanctioned progress/metrics sites (//uavlint:allow timenow)", name)
+			if pkg, name, ok := packageFunc(pass.Info, call); ok && pkg == "time" {
+				switch name {
+				case "Now", "Since":
+					pass.Reportf(call.Pos(), "time.%s() reads the wall clock on a library path; solver decisions must be (scenario, options, seed)-pure — keep clock reads to sanctioned progress/metrics sites (//uavlint:allow timenow)", name)
+				case "After", "Tick":
+					pass.Reportf(call.Pos(), "time.%s() schedules on the wall clock on a library path; solver schedules (cooling, tenure, restarts) must be step-indexed, never wall-clock-driven (//uavlint:allow timenow)", name)
+				}
 			}
 			return true
 		})

@@ -97,7 +97,25 @@ type Options struct {
 	// ProgressInterval is the sampling period of the Progress hook.
 	// Zero or negative selects one second.
 	ProgressInterval time.Duration
+	// Solver selects how the anchor-subset space is searched. "" or "enum"
+	// run the paper's enumeration (this function). Any other value names a
+	// metaheuristic from internal/portfolio — "anneal", "tabu", "grasp",
+	// "genetic", or "portfolio" to race all four — which trades the
+	// worst-case guarantee for a budgeted local search that escapes the
+	// C(m, s) wall at large m. Approx itself rejects those values; the
+	// facade dispatches them to the portfolio driver.
+	Solver string
+	// SolverBudget caps the subset evaluations each metaheuristic member may
+	// spend when Solver selects one (zero picks the portfolio package's
+	// default). The budget is counted in evaluations, never wall clock, so
+	// same seed + same budget reproduce the same deployment byte for byte.
+	// Enumeration ignores it.
+	SolverBudget int64
 }
+
+// SolverIsEnum reports whether the options select the exhaustive/sampled
+// enumeration (Algorithm 2) rather than a metaheuristic solver.
+func (o Options) SolverIsEnum() bool { return o.Solver == "" || o.Solver == "enum" }
 
 func (o Options) withDefaults() Options {
 	if o.S == 0 {
@@ -208,6 +226,9 @@ func Approx(ctx context.Context, in *Instance, opts Options) (*Deployment, error
 	}
 	start := time.Now() //uavlint:allow timenow -- progress/ETA clock; never feeds a solver decision
 	opts = opts.withDefaults()
+	if !opts.SolverIsEnum() {
+		return nil, fmt.Errorf("core: Approx runs the enumeration only; solver %q is served by portfolio.Race (use the uavnet facade)", opts.Solver)
+	}
 	sc := in.Scenario
 	k, m := sc.K(), sc.M()
 

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"github.com/uav-coverage/uavnet/internal/geom"
+)
+
+// evaluatorScenario is a 4x4 grid with a clustered population, dense enough
+// that different anchor subsets score differently.
+func evaluatorScenario() *Scenario {
+	var users []geom.Point2
+	// A hotspot in the lower-left cell and a spread over the diagonal.
+	for i := 0; i < 6; i++ {
+		users = append(users, geom.Point2{X: 250, Y: 250})
+	}
+	users = append(users,
+		geom.Point2{X: 750, Y: 750}, geom.Point2{X: 750, Y: 750},
+		geom.Point2{X: 1250, Y: 1250}, geom.Point2{X: 1750, Y: 1750},
+	)
+	return testScenario(users, []int{3, 2, 2, 1})
+}
+
+// TestSubsetEvaluatorMatchesApprox replays the enumeration winner's anchors
+// through the standalone evaluator and requires the exact same deployment —
+// the evaluator is one enumeration step, factored out.
+func TestSubsetEvaluatorMatchesApprox(t *testing.T) {
+	t.Parallel()
+	in, err := NewInstance(evaluatorScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{S: 2}
+	dep, err := Approx(context.Background(), in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := NewSubsetEvaluator(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ev.Evaluate(dep.Anchors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("enumeration winner %v is infeasible for the evaluator", dep.Anchors)
+	}
+	if res.Served != dep.Served {
+		t.Fatalf("Evaluate(%v).Served = %d, Approx served %d", dep.Anchors, res.Served, dep.Served)
+	}
+	rebuilt, err := ev.BuildDeployment(dep.Anchors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.Served != dep.Served {
+		t.Fatalf("BuildDeployment served %d, Approx served %d", rebuilt.Served, dep.Served)
+	}
+	if !reflect.DeepEqual(rebuilt.LocationOf, dep.LocationOf) {
+		t.Fatalf("locations differ: %v vs %v", rebuilt.LocationOf, dep.LocationOf)
+	}
+	if !reflect.DeepEqual(rebuilt.Assignment.PerStation, dep.Assignment.PerStation) {
+		t.Fatalf("per-station loads differ: %v vs %v", rebuilt.Assignment.PerStation, dep.Assignment.PerStation)
+	}
+	if !reflect.DeepEqual(rebuilt.Anchors, dep.Anchors) {
+		t.Fatalf("anchors differ: %v vs %v", rebuilt.Anchors, dep.Anchors)
+	}
+}
+
+func TestSubsetEvaluatorCountsEvaluations(t *testing.T) {
+	t.Parallel()
+	in, err := NewInstance(evaluatorScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := NewSubsetEvaluator(in, Options{S: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ev.Evaluations(); got != 0 {
+		t.Fatalf("fresh evaluator has %d evaluations", got)
+	}
+	anchors := []int{0, 1}
+	for i := 1; i <= 3; i++ {
+		if _, err := ev.Evaluate(anchors); err != nil {
+			t.Fatal(err)
+		}
+		if got := ev.Evaluations(); got != int64(i) {
+			t.Fatalf("after %d evaluations counter reads %d", i, got)
+		}
+	}
+	ev.SetEvaluations(42)
+	if got := ev.Evaluations(); got != 42 {
+		t.Fatalf("SetEvaluations(42) then Evaluations() = %d", got)
+	}
+}
+
+// TestSubsetEvaluatorInfeasibleSubset feeds anchors whose pairwise hop
+// distance exceeds what K UAVs can bridge, expecting a clean infeasible
+// verdict from Evaluate and an error from BuildDeployment.
+func TestSubsetEvaluatorInfeasibleSubset(t *testing.T) {
+	t.Parallel()
+	// Two UAVs on a 4x4 grid: opposite corners are 3 hops apart, so a
+	// 2-anchor subset spanning them needs 4 > K network members.
+	sc := testScenario([]geom.Point2{{X: 250, Y: 250}, {X: 1750, Y: 1750}}, []int{2, 2})
+	in, err := NewInstance(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := NewSubsetEvaluator(in, Options{S: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corners := []int{0, 15}
+	res, err := ev.Evaluate(corners)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatalf("corner subset %v feasible with K=2", corners)
+	}
+	if _, err := ev.BuildDeployment(corners); err == nil {
+		t.Fatal("BuildDeployment succeeded on an infeasible subset")
+	}
+}
+
+func TestApproxRejectsSolverOptions(t *testing.T) {
+	t.Parallel()
+	in, err := NewInstance(evaluatorScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Approx(context.Background(), in, Options{S: 2, Solver: "anneal"}); err == nil {
+		t.Fatal("Approx accepted Solver=anneal")
+	}
+	for _, solver := range []string{"", "enum"} {
+		if _, err := Approx(context.Background(), in, Options{S: 2, Solver: solver}); err != nil {
+			t.Fatalf("Approx rejected Solver=%q: %v", solver, err)
+		}
+	}
+}

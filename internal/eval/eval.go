@@ -17,6 +17,7 @@ import (
 	"github.com/uav-coverage/uavnet/internal/channel"
 	"github.com/uav-coverage/uavnet/internal/core"
 	"github.com/uav-coverage/uavnet/internal/geom"
+	"github.com/uav-coverage/uavnet/internal/portfolio"
 	"github.com/uav-coverage/uavnet/internal/workload"
 )
 
@@ -171,6 +172,23 @@ func ApproAlg(s, workers, maxSubsets int, literal bool) Algorithm {
 	}
 }
 
+// SolverAlg wraps portfolio.Race as an Algorithm under the solver's name
+// ("anneal" | "tabu" | "grasp" | "genetic" | "portfolio"): the figure sweeps
+// can then compare a budgeted metaheuristic against the baselines on
+// instances whose C(m,s) puts the enumeration out of reach.
+func SolverAlg(solver string, s int, budget int64, literal bool, seed int64) Algorithm {
+	return Algorithm{
+		Name: solver,
+		Run: func(ctx context.Context, in *core.Instance) (*core.Deployment, error) {
+			dep, _, err := portfolio.Race(ctx, in, core.Options{
+				S: s, Solver: solver, SolverBudget: budget,
+				GroundLeftovers: literal, Seed: seed,
+			}, nil)
+			return dep, err
+		},
+	}
+}
+
 // Algorithms returns approAlg followed by the paper's four baselines.
 func Algorithms(s, workers, maxSubsets int) ([]Algorithm, error) {
 	return AlgorithmsLiteral(s, workers, maxSubsets, false)
@@ -240,6 +258,16 @@ type Config struct {
 	// the q_j network members stay grounded instead of extending the
 	// network greedily.
 	Literal bool
+	// Solver, when a metaheuristic name ("anneal" | "tabu" | "grasp" |
+	// "genetic" | "portfolio"), replaces the approAlg enumeration slot in the
+	// figure sweeps (Figs. 4–6) with portfolio.Race under SolverBudget
+	// evaluations per member. Empty or "enum" keeps the enumeration.
+	// Ablation and Heterogeneity always use the enumeration — they study its
+	// internal switches.
+	Solver string
+	// SolverBudget caps the evaluations per solver member (0 = the
+	// portfolio default).
+	SolverBudget int64
 	// Seeds are averaged over; empty means the single Base.Seed.
 	Seeds []int64
 	// Progress, when non-nil, receives one line per completed run.
@@ -264,6 +292,20 @@ func (c Config) progress(format string, args ...any) {
 	if c.Progress != nil {
 		c.Progress(format, args...)
 	}
+}
+
+// algorithms assembles the competitor list for anchor parameter s: the
+// enumeration — or the configured metaheuristic solver in its slot — plus
+// the paper's four baselines.
+func (c Config) algorithms(s int) ([]Algorithm, error) {
+	algs, err := AlgorithmsLiteral(s, c.Workers, c.MaxSubsets, c.Literal)
+	if err != nil {
+		return nil, err
+	}
+	if c.Solver != "" && c.Solver != "enum" {
+		algs[0] = SolverAlg(c.Solver, s, c.SolverBudget, c.Literal, c.Base.Seed)
+	}
+	return algs, nil
 }
 
 func (c Config) context() context.Context {
@@ -334,7 +376,7 @@ func sweep(cfg Config, title, xLabel string, xs []float64, algs []Algorithm,
 func Fig4(cfg Config, ks []int) (*Series, error) {
 	cfg = cfg.withDefaults()
 	xs := toFloats(ks)
-	algs, err := AlgorithmsLiteral(cfg.S, cfg.Workers, cfg.MaxSubsets, cfg.Literal)
+	algs, err := cfg.algorithms(cfg.S)
 	if err != nil {
 		return nil, err
 	}
@@ -347,7 +389,7 @@ func Fig4(cfg Config, ks []int) (*Series, error) {
 func Fig5(cfg Config, ns []int) (*Series, error) {
 	cfg = cfg.withDefaults()
 	xs := toFloats(ns)
-	algs, err := AlgorithmsLiteral(cfg.S, cfg.Workers, cfg.MaxSubsets, cfg.Literal)
+	algs, err := cfg.algorithms(cfg.S)
 	if err != nil {
 		return nil, err
 	}
@@ -364,7 +406,7 @@ func Fig6(cfg Config, ss []int) (*Series, error) {
 	var pts []Point
 	series := &Series{Title: "Fig. 6: quality and running time vs s", XLabel: "s"}
 	for _, s := range ss {
-		algs, err := AlgorithmsLiteral(s, cfg.Workers, cfg.MaxSubsets, cfg.Literal)
+		algs, err := cfg.algorithms(s)
 		if err != nil {
 			return nil, err
 		}

@@ -46,6 +46,34 @@ func (b Bitset) Fill(n int) {
 // CopyFrom overwrites b with src; both must have the same length.
 func (b Bitset) CopyFrom(src Bitset) { copy(b, src) }
 
+// Or sets b to a ∪ b in place; both must have the same length. The GRASP
+// constructor accumulates the eligibility union of a growing anchor set this
+// way, scoring candidate cells by marginal coverage in a few word operations.
+func (b Bitset) Or(a Bitset) {
+	for i, w := range a {
+		b[i] |= w
+	}
+}
+
+// Count returns the number of set bits.
+func (b Bitset) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// AndNotCount returns |a \ b|, the popcount of a AND NOT b — the marginal
+// coverage a candidate's eligibility mask adds over an accumulated union.
+func AndNotCount(a, b Bitset) int {
+	n := 0
+	for i, w := range a {
+		n += bits.OnesCount64(w &^ b[i])
+	}
+	return n
+}
+
 // AndCount returns |a ∩ b|, the popcount of the bitwise AND.
 func AndCount(a, b Bitset) int {
 	n := 0

@@ -1,0 +1,295 @@
+package portfolio
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/uav-coverage/uavnet/internal/core"
+)
+
+// DefaultBudget is the per-member evaluation budget when Options.SolverBudget
+// is zero. At the ~µs-per-evaluation cost of the incremental pipeline this is
+// tenths of a second per member — and, unlike enumeration, independent of m.
+const DefaultBudget = 50_000
+
+// SolverMembers resolves an Options.Solver value to the member names it
+// races: one name for a single member, all four for "portfolio".
+func SolverMembers(solver string) ([]string, error) {
+	if solver == "portfolio" {
+		return Members(), nil
+	}
+	if memberIndex(solver) >= 0 {
+		return []string{solver}, nil
+	}
+	return nil, fmt.Errorf("portfolio: unknown solver %q (have %v and \"portfolio\")", solver, Members())
+}
+
+// newSolver builds one member by canonical name.
+func newSolver(name string, p *problem, ev *core.SubsetEvaluator, seed, budget int64) (Solver, error) {
+	switch name {
+	case "anneal":
+		return newAnneal(p, ev, seed, budget), nil
+	case "tabu":
+		return newTabu(p, ev, seed, budget), nil
+	case "grasp":
+		return newGrasp(p, ev, seed, budget), nil
+	case "genetic":
+		return newGenetic(p, ev, seed, budget), nil
+	}
+	return nil, fmt.Errorf("portfolio: unknown member %q", name)
+}
+
+// Race runs the metaheuristic members named by opts.Solver concurrently over
+// the instance, each under its own evaluation budget, and returns the best
+// deployment any member found — finalized through the exact Algorithm 2
+// pipeline, so it satisfies every constraint verify.CheckDeployment checks.
+//
+// Run control mirrors core.Approx: the race honors ctx (members stop at the
+// next step boundary), reports core.Progress snapshots through opts.Progress,
+// and a cancelled run returns its best-so-far deployment with Status
+// StatusStopped TOGETHER with ctx.Err() and a resumable Checkpoint. Resuming
+// (the resume argument; nil for a fresh run) continues every member's exact
+// trajectory, so an interrupted-then-resumed race is byte-identical to an
+// uninterrupted one. The reduction is deterministic: most served users, ties
+// to the canonical member order — never arrival order or wall clock.
+//
+// Unsupported enumeration options (MaxSubsets, Shard, StopAfter, Resume,
+// RequiredCells) are rejected: the first three control the enumeration index
+// space, which a local search does not have; gateway-constrained searches
+// need the enumeration's required-cell filter.
+func Race(ctx context.Context, in *core.Instance, opts core.Options, resume *Checkpoint) (*core.Deployment, *Checkpoint, error) {
+	if ctx == nil {
+		ctx = context.Background() //uavlint:allow ctxthread -- nil-ctx normalization at the API boundary
+	}
+	start := time.Now() //uavlint:allow timenow -- progress/ETA clock; never feeds a solver decision
+	if opts.SolverIsEnum() {
+		return nil, nil, fmt.Errorf("portfolio: Options.Solver %q selects the enumeration; call core.Approx", opts.Solver)
+	}
+	members, err := SolverMembers(opts.Solver)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch {
+	case opts.MaxSubsets != 0:
+		return nil, nil, fmt.Errorf("portfolio: MaxSubsets applies to the enumeration only; use SolverBudget")
+	case opts.StopAfter != 0:
+		return nil, nil, fmt.Errorf("portfolio: StopAfter applies to the enumeration only; use SolverBudget or a context deadline")
+	case opts.Resume != nil:
+		return nil, nil, fmt.Errorf("portfolio: Options.Resume carries an enumeration checkpoint; pass a portfolio checkpoint to Race instead")
+	case len(opts.RequiredCells) != 0:
+		return nil, nil, fmt.Errorf("portfolio: RequiredCells (gateway mode) needs the enumeration")
+	}
+	if opts.Shard.Count != 0 || opts.Shard.Index != 0 {
+		return nil, nil, fmt.Errorf("portfolio: Shard applies to the enumeration only")
+	}
+	budget := opts.SolverBudget
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+
+	// One evaluator per member (they are single-goroutine objects); the
+	// problem view is read-only and shared.
+	evs := make([]*core.SubsetEvaluator, len(members))
+	for i := range members {
+		if evs[i], err = core.NewSubsetEvaluator(in, opts); err != nil {
+			return nil, nil, err
+		}
+	}
+	s := evs[0].S()
+	p, err := newProblem(in, s)
+	if err != nil {
+		return nil, nil, err
+	}
+	solvers := make([]Solver, len(members))
+	for i, name := range members {
+		if solvers[i], err = newSolver(name, p, evs[i], opts.Seed, budget); err != nil {
+			return nil, nil, err
+		}
+	}
+	if resume != nil {
+		if err := resume.validate(in, s, opts, opts.Solver, budget, members); err != nil {
+			return nil, nil, err
+		}
+		for i := range solvers {
+			if err := solvers[i].Restore(resume.Members[i]); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	// Members race on their own goroutines, folding per-step deltas into the
+	// shared progress counters. Determinism needs no synchronization beyond
+	// that: every member's trajectory depends only on its own state.
+	var progEvals, progBest atomic.Int64
+	progBest.Store(-1)
+	type memberOut struct {
+		done bool // budget exhausted (vs. stopped by ctx)
+		err  error
+	}
+	outs := make([]memberOut, len(solvers))
+	var wg sync.WaitGroup
+	for i := range solvers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sv := solvers[i]
+			var lastEvals int64
+			if resume != nil {
+				lastEvals = resume.Members[i].Evals
+			}
+			progEvals.Add(lastEvals)
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				more, err := sv.Step()
+				if err != nil {
+					outs[i].err = err
+					return
+				}
+				if e := evs[i].Evaluations(); e != lastEvals {
+					progEvals.Add(e - lastEvals)
+					lastEvals = e
+				}
+				if _, served := sv.Best(); served >= 0 {
+					for {
+						cur := progBest.Load()
+						if int64(served) <= cur || progBest.CompareAndSwap(cur, int64(served)) {
+							break
+						}
+					}
+				}
+				if !more {
+					outs[i].done = true
+					return
+				}
+			}
+		}(i)
+	}
+
+	total := int64(len(members)) * budget
+	snapshot := func() core.Progress {
+		evals := progEvals.Load()
+		best := progBest.Load()
+		if best < 0 {
+			best = 0
+		}
+		pr := core.Progress{
+			Done:       evals,
+			Total:      total,
+			Evaluated:  evals,
+			BestServed: int(best),
+			Elapsed:    time.Since(start), //uavlint:allow timenow -- progress snapshot output only
+			ScopeDone:  evals,
+			ScopeTotal: total,
+		}
+		if evals > 0 && evals < total {
+			pr.ETA = time.Duration(float64(pr.Elapsed) / float64(evals) * float64(total-evals))
+		}
+		return pr
+	}
+	monitorDone := make(chan struct{})
+	var monitor sync.WaitGroup
+	if opts.Progress != nil {
+		interval := opts.ProgressInterval
+		if interval <= 0 {
+			interval = time.Second
+		}
+		monitor.Add(1)
+		go func() {
+			defer monitor.Done()
+			ticker := time.NewTicker(interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					opts.Progress(snapshot())
+				case <-monitorDone:
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(monitorDone)
+	monitor.Wait()
+	if opts.Progress != nil {
+		opts.Progress(snapshot())
+	}
+	for _, out := range outs {
+		if out.err != nil {
+			return nil, nil, out.err
+		}
+	}
+
+	stopped := false
+	for _, out := range outs {
+		if !out.done {
+			stopped = true
+		}
+	}
+
+	// Freeze member states BEFORE finalization: BuildDeployment re-runs one
+	// evaluation on the winner's evaluator, which must not leak into the
+	// checkpointed budget accounting.
+	var cp *Checkpoint
+	if stopped {
+		cp = &Checkpoint{
+			Algorithm:           "portfolio",
+			ScenarioFingerprint: in.Fingerprint(),
+			S:                   s,
+			Seed:                opts.Seed,
+			Solver:              opts.Solver,
+			Budget:              budget,
+			DisablePrune:        opts.DisablePrune,
+			GroundLeftovers:     opts.GroundLeftovers,
+			Members:             make([]SolverState, len(solvers)),
+		}
+		for i, sv := range solvers {
+			st, err := sv.State()
+			if err != nil {
+				return nil, nil, err
+			}
+			cp.Members[i] = st
+		}
+	}
+
+	// Deterministic reduction: most served, ties to canonical member order.
+	winner := -1
+	winServed := -1
+	for i, sv := range solvers {
+		if _, served := sv.Best(); served > winServed {
+			winner, winServed = i, served
+		}
+	}
+	var runErr error
+	if stopped {
+		runErr = ctx.Err()
+	}
+	if winner < 0 {
+		if stopped {
+			return nil, cp, fmt.Errorf("portfolio: stopped before any feasible deployment was found (resume with the checkpoint): %w", runErr)
+		}
+		return nil, nil, fmt.Errorf("portfolio: no feasible deployment within a budget of %d evaluations per member", budget)
+	}
+	anchors, _ := solvers[winner].Best()
+	dep, err := evs[winner].BuildDeployment(anchors)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(members) == 1 {
+		dep.Algorithm = members[winner]
+	} else {
+		dep.Algorithm = "portfolio/" + members[winner]
+	}
+	dep.SubsetsEvaluated = progEvals.Load()
+	dep.Status = core.StatusComplete
+	if stopped {
+		dep.Status = core.StatusStopped
+	}
+	return dep, cp, runErr
+}

@@ -1,0 +1,42 @@
+package verify
+
+import (
+	"context"
+	"testing"
+)
+
+// portfolioExhaustiveBudget is generous against the admissible-region size of
+// the differential scenarios (m <= 8, s <= 2 gives at most C(8,2) = 28
+// subsets): every member can visit the whole region many times over, so it
+// must land on the enumeration's optimum.
+const portfolioExhaustiveBudget = 2000
+
+func TestPortfolioDifferentialRandomScenarios(t *testing.T) {
+	t.Parallel()
+	seeds := int64(diffSeeds)
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			results, err := PortfolioDifferential(context.Background(), seed, portfolioExhaustiveBudget, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			names := map[string]bool{}
+			for _, res := range results {
+				names[res.Algorithm] = true
+				if !res.Report.OK() {
+					t.Errorf("seed %d: %s: %s", seed, res.Algorithm, res.Report)
+				}
+			}
+			for _, want := range []string{"anneal", "tabu", "grasp", "genetic", "portfolio"} {
+				if !names[want] {
+					t.Errorf("seed %d: %s missing from results %v", seed, want, names)
+				}
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"github.com/uav-coverage/uavnet/internal/channel"
 	"github.com/uav-coverage/uavnet/internal/core"
 	"github.com/uav-coverage/uavnet/internal/geom"
+	"github.com/uav-coverage/uavnet/internal/portfolio"
 	"github.com/uav-coverage/uavnet/internal/verify"
 )
 
@@ -119,19 +120,64 @@ func DeployContext(ctx context.Context, sc *Scenario, opts Options) (*Deployment
 	if err != nil {
 		return nil, err
 	}
-	return core.Approx(ctx, in, opts)
+	return deploySolver(ctx, in, opts)
 }
 
 // DeployInstance is Deploy on a precomputed instance.
 //
 //uavlint:allow ctxthread -- compatibility shim: ctx-less callers get a fresh root, DeployInstanceContext is the threaded path
 func DeployInstance(in *Instance, opts Options) (*Deployment, error) {
-	return core.Approx(context.Background(), in, opts)
+	return deploySolver(context.Background(), in, opts)
 }
 
 // DeployInstanceContext is DeployContext on a precomputed instance.
 func DeployInstanceContext(ctx context.Context, in *Instance, opts Options) (*Deployment, error) {
-	return core.Approx(ctx, in, opts)
+	return deploySolver(ctx, in, opts)
+}
+
+// deploySolver dispatches on Options.Solver: the enumeration (Algorithm 2)
+// by default, or the metaheuristic portfolio for "anneal", "tabu", "grasp",
+// "genetic", and "portfolio" — the budgeted large-m path (see the package
+// docs of internal/portfolio and the README's "Large m" section).
+func deploySolver(ctx context.Context, in *Instance, opts Options) (*Deployment, error) {
+	if opts.SolverIsEnum() {
+		return core.Approx(ctx, in, opts)
+	}
+	dep, _, err := DeployPortfolioContext(ctx, in, opts, nil)
+	return dep, err
+}
+
+// SolverNames lists every Options.Solver value: "enum" (the paper's
+// enumeration, also selected by the empty string), the four portfolio
+// members, and "portfolio" to race all four.
+func SolverNames() []string {
+	return append([]string{"enum"}, append(portfolio.Members(), "portfolio")...)
+}
+
+// PortfolioCheckpoint freezes a stopped portfolio race (every member's RNG
+// word, incumbent, best, and member-specific memory) for later resumption;
+// the portfolio counterpart of Checkpoint.
+type PortfolioCheckpoint = portfolio.Checkpoint
+
+// DeployPortfolioContext races the metaheuristic members selected by
+// opts.Solver (a member name or "portfolio") under opts.SolverBudget
+// evaluations each, resuming from a prior run's checkpoint when resume is
+// non-nil. On cancellation it returns the best-so-far deployment (Status
+// StatusStopped) together with ctx.Err() and a resumable checkpoint —
+// mirroring DeployContext's stopped-run contract. Every returned deployment
+// has been re-checked by Verify: the portfolio never returns an infeasible
+// placement.
+func DeployPortfolioContext(ctx context.Context, in *Instance, opts Options, resume *PortfolioCheckpoint) (*Deployment, *PortfolioCheckpoint, error) {
+	dep, cp, err := portfolio.Race(ctx, in, opts, resume)
+	if dep != nil {
+		if rep := verify.CheckDeployment(in, dep); !rep.OK() {
+			// Unreachable by construction — the portfolio finalizes through
+			// the exact Algorithm 2 pipeline — but the feasibility guarantee
+			// is part of the API, so it is enforced, not assumed.
+			return nil, cp, fmt.Errorf("uavnet: portfolio produced an infeasible deployment: %v", rep)
+		}
+	}
+	return dep, cp, err
 }
 
 // AlgorithmNames lists every algorithm usable with DeployWith, the paper's
@@ -154,7 +200,7 @@ func DeployWith(name string, in *Instance, opts Options) (*Deployment, error) {
 // merely check the context before starting.
 func DeployWithContext(ctx context.Context, name string, in *Instance, opts Options) (*Deployment, error) {
 	if name == "approAlg" {
-		return core.Approx(ctx, in, opts)
+		return deploySolver(ctx, in, opts)
 	}
 	run, err := baseline.ByName(name)
 	if err != nil {
@@ -240,6 +286,11 @@ func DeployToGateway(in *Instance, gw Gateway, opts Options) (*Deployment, error
 // DeployToGatewayContext is DeployToGateway under a context (see
 // DeployContext for the stopped-run contract).
 func DeployToGatewayContext(ctx context.Context, in *Instance, gw Gateway, opts Options) (*Deployment, error) {
+	if !opts.SolverIsEnum() {
+		// The gateway guarantee rides on the enumeration's required-cell
+		// filter; the portfolio's neighborhood has no such constraint yet.
+		return nil, fmt.Errorf("uavnet: gateway-constrained deployment needs the enumeration (got solver %q)", opts.Solver)
+	}
 	cells := in.GatewayCells(gw)
 	if len(cells) == 0 {
 		return nil, fmt.Errorf("uavnet: no candidate cell within %g m of the gateway",
