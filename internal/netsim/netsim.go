@@ -70,6 +70,10 @@ type StationStats struct {
 	MaxQueue int
 	// Utilization is the offered load rho = users*lambda/mu (may exceed 1).
 	Utilization float64
+	// CompletedByUser splits Completed by the attached user (indexed 0 to
+	// Users-1) whose request finished — the per-user fairness view of the
+	// FIFO server. Sums to Completed; nil for stations with no users.
+	CompletedByUser []int64
 }
 
 // event kinds.
@@ -134,14 +138,25 @@ func Simulate(loads []int, cfg Config) ([]StationStats, error) {
 	}
 	expo := func(rate float64) float64 { return r.ExpFloat64() / rate }
 
-	// Per-station FIFO queues of arrival timestamps.
-	queues := make([][]float64, len(loads))
+	// Per-station FIFO queues of waiting requests. Each entry carries both
+	// the arrival timestamp (for the sojourn sample) and the requesting
+	// user: the departure event must name the true FIFO-head user, not a
+	// hardcoded one, or per-user attribution is garbage (every completion
+	// after the first would land on user 0).
+	type request struct {
+		at   float64
+		user int
+	}
+	queues := make([][]request, len(loads))
 	inSystem := make([]int, len(loads))
 	sojourns := make([][]float64, len(loads))
 
 	for k, users := range loads {
 		stats[k].Users = users
 		stats[k].Utilization = float64(users) * cfg.ArrivalRatePerUser / cfg.ServiceRate
+		if users > 0 {
+			stats[k].CompletedByUser = make([]int64, users)
+		}
 		for u := 0; u < users; u++ {
 			push(expo(cfg.ArrivalRatePerUser), evArrival, k, u)
 		}
@@ -155,7 +170,7 @@ func Simulate(loads []int, cfg Config) ([]StationStats, error) {
 		k := e.station
 		switch e.kind {
 		case evArrival:
-			queues[k] = append(queues[k], e.at)
+			queues[k] = append(queues[k], request{at: e.at, user: e.user})
 			inSystem[k]++
 			if inSystem[k] > stats[k].MaxQueue {
 				stats[k].MaxQueue = inSystem[k]
@@ -166,15 +181,18 @@ func Simulate(loads []int, cfg Config) ([]StationStats, error) {
 			// Schedule the user's next request.
 			push(e.at+expo(cfg.ArrivalRatePerUser), evArrival, k, e.user)
 		case evDeparture:
-			arrivedAt := queues[k][0]
+			head := queues[k][0]
 			queues[k] = queues[k][1:]
 			inSystem[k]--
 			if e.at >= cfg.WarmUp {
 				stats[k].Completed++
-				sojourns[k] = append(sojourns[k], e.at-arrivedAt)
+				stats[k].CompletedByUser[head.user]++
+				sojourns[k] = append(sojourns[k], e.at-head.at)
 			}
-			if inSystem[k] > 0 { // start the next request
-				push(e.at+expo(cfg.ServiceRate), evDeparture, k, 0)
+			if inSystem[k] > 0 {
+				// Start serving the new FIFO head — and attribute the
+				// eventual departure to that user, not user 0.
+				push(e.at+expo(cfg.ServiceRate), evDeparture, k, queues[k][0].user)
 			}
 		}
 	}

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"math"
+	"reflect"
 	"testing"
 )
 
@@ -94,7 +95,7 @@ func TestSimulateDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 	for k := range a {
-		if a[k] != b[k] {
+		if !reflect.DeepEqual(a[k], b[k]) {
 			t.Errorf("station %d differs across identical runs", k)
 		}
 	}
@@ -234,5 +235,74 @@ func TestPercentileRejectsBadInput(t *testing.T) {
 	}
 	if got := percentile(nil, 0.5); !math.IsNaN(got) {
 		t.Errorf("percentile(empty) = %g, want NaN", got)
+	}
+}
+
+// TestSimulateUserAttribution pins the FIFO completion attribution fixed in
+// the departure path: the queue must carry (arrivalTime, user) so the
+// departing event names the true FIFO-head user. Under the old bug every
+// departure scheduled while the queue was busy was hardcoded to user 0, so
+// on a loaded station virtually all completions landed on user 0.
+func TestSimulateUserAttribution(t *testing.T) {
+	cfg := baseConfig()
+	// 150 users -> rho = 0.75: the server is busy most of the time, so the
+	// "next departure" path (the buggy one) dominates scheduling.
+	const users = 150
+	stats, err := Simulate([]int{users}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := stats[0]
+	if len(st.CompletedByUser) != users {
+		t.Fatalf("CompletedByUser has %d entries, want %d", len(st.CompletedByUser), users)
+	}
+	var sum int64
+	idle := 0
+	for _, c := range st.CompletedByUser {
+		sum += c
+		if c == 0 {
+			idle++
+		}
+	}
+	if sum != st.Completed {
+		t.Errorf("CompletedByUser sums to %d, want Completed = %d", sum, st.Completed)
+	}
+	// Users are statistically identical, so attribution must be roughly
+	// uniform. Under the bug user 0 absorbed nearly every completion; allow
+	// generous slack (4x the fair share) so the test pins the bug, not the
+	// sample noise of one seed.
+	fair := float64(st.Completed) / users
+	if got := float64(st.CompletedByUser[0]); got > 4*fair {
+		t.Errorf("user 0 credited %v completions, fair share %v: FIFO head mis-attribution", got, fair)
+	}
+	if idle > users/4 {
+		t.Errorf("%d of %d users credited zero completions; attribution is not reaching the queue tail", idle, users)
+	}
+}
+
+// TestSimulateAttributionStaysInRange guards the invariant that departure
+// events always name a user attached to their station (a regression here
+// would panic on the CompletedByUser index).
+func TestSimulateAttributionStaysInRange(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Seed = 42
+	stats, err := Simulate([]int{1, 7, 0, 33}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, st := range stats {
+		if st.Users == 0 {
+			if st.CompletedByUser != nil {
+				t.Errorf("station %d: empty station should have nil CompletedByUser", k)
+			}
+			continue
+		}
+		var sum int64
+		for _, c := range st.CompletedByUser {
+			sum += c
+		}
+		if sum != st.Completed {
+			t.Errorf("station %d: CompletedByUser sums to %d, want %d", k, sum, st.Completed)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package portfolio
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 
@@ -66,9 +67,16 @@ func (c *Checkpoint) Marshal() ([]byte, error) {
 }
 
 // UnmarshalCheckpoint parses a checkpoint previously produced by Marshal.
+// Unknown fields are rejected, mirroring core.UnmarshalCheckpoint: a field
+// this version cannot interpret would otherwise be dropped silently, and the
+// resumed race would diverge from the frozen one with no diagnostic. (The
+// member-specific Extra blob is exempt by construction — it round-trips as
+// raw JSON and each member validates its own.)
 func UnmarshalCheckpoint(data []byte) (*Checkpoint, error) {
 	var c Checkpoint
-	if err := json.Unmarshal(data, &c); err != nil {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
 		return nil, fmt.Errorf("portfolio: bad checkpoint: %w", err)
 	}
 	if c.Algorithm != "portfolio" {

@@ -1,11 +1,12 @@
 package uavnet
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
-	"path/filepath"
 
+	"github.com/uav-coverage/uavnet/internal/atomicfile"
 	"github.com/uav-coverage/uavnet/internal/core"
 	"github.com/uav-coverage/uavnet/internal/portfolio"
 )
@@ -28,10 +29,17 @@ func MarshalScenario(sc *Scenario) ([]byte, error) {
 }
 
 // UnmarshalScenario decodes and validates a scenario produced by
-// MarshalScenario.
+// MarshalScenario. Decoding is strict: a field name the format does not
+// define — a typo'd key, a stale field from another version — is an error,
+// not a silent drop. Scenarios arrive from untrusted clients (the uavserve
+// POST body is exactly this format), and an option silently ignored is the
+// worst possible failure mode: the caller gets a valid-looking answer to a
+// different question.
 func UnmarshalScenario(data []byte) (*Scenario, error) {
 	var f scenarioFile
-	if err := json.Unmarshal(data, &f); err != nil {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
 		return nil, fmt.Errorf("uavnet: bad scenario JSON: %w", err)
 	}
 	if f.Version != scenarioFileVersion {
@@ -47,35 +55,13 @@ func UnmarshalScenario(data []byte) (*Scenario, error) {
 }
 
 // writeFileAtomic writes data to path via a unique temp file in the same
-// directory renamed into place. A crash mid-write — even SIGKILL — can then
-// never leave a truncated file at path: readers observe the old content or
-// the new, nothing in between. Same-directory placement keeps the rename on
-// one filesystem, where it is atomic.
+// directory, fsynced and renamed into place with the directory fsynced after
+// (see internal/atomicfile). A crash mid-write — even SIGKILL or power loss —
+// can then never leave a truncated file at path: readers observe the old
+// content or the new, nothing in between, and the observed content is on
+// stable storage.
 func writeFileAtomic(path string, data []byte) error {
-	dir, base := filepath.Split(path)
-	if dir == "" {
-		dir = "."
-	}
-	tmp, err := os.CreateTemp(dir, base+".tmp-")
-	if err != nil {
-		return err
-	}
-	_, err = tmp.Write(data)
-	if cerr := tmp.Close(); err == nil {
-		err = cerr
-	}
-	if err == nil {
-		// CreateTemp opens mode 0600; match the 0644 a direct write used.
-		err = os.Chmod(tmp.Name(), 0o644)
-	}
-	if err == nil {
-		err = os.Rename(tmp.Name(), path)
-	}
-	if err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return nil
+	return atomicfile.WriteFile(path, data, 0o644)
 }
 
 // SaveScenario writes a scenario to path as JSON, atomically.
