@@ -22,6 +22,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"github.com/uav-coverage/uavnet/internal/atomicfile"
 	"github.com/uav-coverage/uavnet/internal/eval"
 )
 
@@ -64,7 +65,7 @@ func run() error {
 	}
 
 	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
+		f, err := os.Create(*cpuProfile) //uavlint:allow atomicwrite -- pprof stream, not persistence: written incrementally while profiling, worthless if the run dies anyway
 		if err != nil {
 			return err
 		}
@@ -76,7 +77,7 @@ func run() error {
 	}
 	if *memProfile != "" {
 		defer func() {
-			f, err := os.Create(*memProfile)
+			f, err := os.Create(*memProfile) //uavlint:allow atomicwrite -- pprof snapshot, not persistence: a partial profile from a dead run has no consumer
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "uavbench: memprofile:", err)
 				return
@@ -167,7 +168,9 @@ func run() error {
 		emit(series, false)
 	}
 	if *csvPath != "" {
-		if err := os.WriteFile(*csvPath, []byte(csv.String()), 0o644); err != nil {
+		// Results of a minutes-long paper-scale run deserve the fsync-safe
+		// path: a torn CSV after a crash looks like a complete one.
+		if err := atomicfile.WriteFile(*csvPath, []byte(csv.String()), 0o644); err != nil {
 			return err
 		}
 		fmt.Printf("wrote CSV to %s\n", *csvPath)

@@ -1,16 +1,22 @@
 // Command uavlint is the repo's multichecker: it runs the
 // internal/analysis suite (detorder, floatcast, ctxthread, epochscratch,
-// timenow) over the module and fails on any diagnostic. CI runs it in the
-// static-analysis job; locally:
+// timenow, lockguard, golife, atomicwrite, errdrop) over the module and
+// fails on any diagnostic. CI runs it in the static-analysis job; locally:
 //
 //	go run ./cmd/uavlint ./...
 //
 // Exit status: 0 clean, 1 diagnostics reported, 2 usage or load failure.
 // Suppress a sanctioned site with a //uavlint:allow <analyzer> -- reason
-// comment (same line, line above, or function doc); see DESIGN.md §11.
+// comment (same line, line above, or function doc); see DESIGN.md §11, §16.
+//
+// -json prints the diagnostics as a JSON array (file/line/col/analyzer/
+// message) for machine consumption — CI uploads it as an artifact on
+// failure. -facts dumps the phase-one cross-function fact set instead of
+// running the analyzers.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -24,14 +30,25 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// jsonDiagnostic is the -json wire shape of one finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("uavlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := fs.Bool("list", false, "list available analyzers and exit")
 	dir := fs.String("C", ".", "directory to resolve package patterns from")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	factsOut := fs.Bool("facts", false, "dump the cross-function fact set and exit without running analyzers")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: uavlint [flags] [packages]\n\nRepo-specific analyzers enforcing determinism, context, and float-safety\ninvariants (DESIGN.md §11).\n\n")
+		fmt.Fprintf(stderr, "usage: uavlint [flags] [packages]\n\nRepo-specific analyzers enforcing determinism, context, float-safety,\nlock-guard, goroutine-lifecycle, and durable-write invariants\n(DESIGN.md §11, §16).\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -61,20 +78,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	bad := 0
-	for _, pkg := range pkgs {
-		diags, err := analysis.RunPackage(pkg, analyzers)
+	if *factsOut {
+		facts, err := analysis.ComputeFacts(pkgs)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
+		stdout.Write(facts.Encode())
+		return 0
+	}
+	diags, _, err := analysis.RunPackages(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if *jsonOut {
+		out := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiagnostic{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d)
-			bad++
 		}
 	}
-	if bad > 0 {
-		fmt.Fprintf(stderr, "uavlint: %d diagnostic(s)\n", bad)
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "uavlint: %d diagnostic(s)\n", len(diags))
 		return 1
 	}
 	return 0

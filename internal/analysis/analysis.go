@@ -19,6 +19,19 @@
 //   - timenow:      no wall-clock reads outside sanctioned progress/metrics
 //     sites (§11.5)
 //
+// On top of the per-package walkers sits a two-phase pipeline (DESIGN.md
+// §16): ComputeFacts records per-function facts — mutexes acquired/required,
+// goroutines spawned, ctx.Done observed, atomicfile used — keyed by function
+// FullName so they survive the source/export-data identity split, and four
+// concurrency/durability analyzers consume them:
+//
+//   - lockguard:   //uavlint:guard-annotated fields only touched under
+//     their mutex, checked across call chains via facts (§16.2)
+//   - golife:      every library goroutine joined or ctx-bounded (§16.3)
+//   - atomicwrite: raw os.WriteFile/Create/Rename only inside
+//     internal/atomicfile (§16.4)
+//   - errdrop:     no silently discarded error results (§16.5)
+//
 // The framework deliberately mirrors the x/tools API (Analyzer, Pass,
 // Diagnostic, a testdata-driven fixture runner in the analysistest
 // subpackage) so the suite can migrate onto multichecker unchanged once the
@@ -64,7 +77,10 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
-	Report   func(Diagnostic)
+	// Facts is the phase-one cross-function fact set covering every
+	// package of the run (not just this pass's package).
+	Facts  *FactSet
+	Report func(Diagnostic)
 }
 
 // A Diagnostic is one finding at a source position.
@@ -89,7 +105,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the full analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{DetOrder, FloatCast, CtxThread, EpochScratch, TimeNow}
+	return []*Analyzer{
+		DetOrder, FloatCast, CtxThread, EpochScratch, TimeNow,
+		LockGuard, GoLife, AtomicWrite, ErrDrop,
+	}
 }
 
 // ByName returns the named analyzers, or an error naming the first unknown.
@@ -111,7 +130,38 @@ func ByName(names []string) ([]*Analyzer, error) {
 
 // RunPackage applies the analyzers to one loaded package and returns the
 // surviving diagnostics (suppressed ones filtered out) sorted by position.
+// Facts are computed from this package alone — the right scope for the
+// analysistest fixtures; cross-package runs go through RunPackages.
 func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	facts, err := ComputeFacts([]*Package{pkg})
+	if err != nil {
+		return nil, err
+	}
+	return runWithFacts(pkg, analyzers, facts)
+}
+
+// RunPackages is the module-level entry point: phase one computes the fact
+// set across every package, phase two runs the analyzers per package against
+// that shared set. Diagnostics come back sorted globally, so output is
+// byte-stable regardless of the order pkgs arrived in.
+func RunPackages(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, *FactSet, error) {
+	facts, err := ComputeFacts(pkgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := runWithFacts(pkg, analyzers, facts)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, diags...)
+	}
+	sortDiagnostics(out)
+	return out, facts, nil
+}
+
+func runWithFacts(pkg *Package, analyzers []*Analyzer, facts *FactSet) ([]Diagnostic, error) {
 	sup := newSuppressions(pkg.Fset, pkg.Files)
 	var out []Diagnostic
 	for _, a := range analyzers {
@@ -121,6 +171,7 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:    pkg.Files,
 			Pkg:      pkg.Types,
 			Info:     pkg.Info,
+			Facts:    facts,
 		}
 		pass.Report = func(d Diagnostic) {
 			if !sup.allows(a.Name, d.Pos) {
@@ -131,6 +182,11 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.ImportPath, err)
 		}
 	}
+	sortDiagnostics(out)
+	return out, nil
+}
+
+func sortDiagnostics(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -144,7 +200,6 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out, nil
 }
 
 // packageFunc resolves a call to a package-level function (not a method) and

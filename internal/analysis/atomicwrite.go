@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// AtomicWrite forbids raw os.WriteFile / os.Create / os.Rename outside
+// internal/atomicfile. PR 9 fixed the fsync gap (no file sync before rename,
+// no directory sync after) by funnelling every persistence write through
+// atomicfile.WriteFile; this analyzer makes that gap structurally impossible
+// to reintroduce — any new write path either goes through atomicfile or
+// carries a reasoned //uavlint:allow atomicwrite explaining why durability
+// does not matter there (pprof profiles, test scaffolding). Unlike the other
+// analyzers it covers package main too: the original violation was
+// cmd/uavbench's CSV write.
+var AtomicWrite = &Analyzer{
+	Name: "atomicwrite",
+	Doc:  "flag os.WriteFile/os.Create/os.Rename outside internal/atomicfile; persistence must go through the fsync-safe path",
+	Run:  runAtomicWrite,
+}
+
+func runAtomicWrite(pass *Pass) error {
+	if !strings.HasPrefix(pass.Pkg.Path(), modulePath) {
+		return nil
+	}
+	if pass.Pkg.Path() == modulePath+"/internal/atomicfile" {
+		return nil // the one place the raw calls are the point
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := packageFunc(pass.Info, call)
+			if !ok || pkg != "os" {
+				return true
+			}
+			switch name {
+			case "WriteFile", "Create", "Rename":
+				pass.Reportf(call.Pos(), "raw os.%s bypasses the fsync-safe write path; use internal/atomicfile (write → fsync → rename → dir fsync), or annotate a non-persistence site with //uavlint:allow atomicwrite -- reason", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/uav-coverage/uavnet/internal/analysis"
+	"github.com/uav-coverage/uavnet/internal/analysis/analysistest"
+)
+
+func TestAtomicWrite(t *testing.T) {
+	t.Parallel()
+	analysistest.Run(t, analysistest.TestData(t), analysis.AtomicWrite,
+		"atomicwrite", modulePath+"/internal/storefix")
+}
+
+// Unlike the other analyzers atomicwrite covers package main: the violation
+// that motivated it was cmd/uavbench's raw CSV write.
+func TestAtomicWriteCoversMainPackages(t *testing.T) {
+	t.Parallel()
+	analysistest.Run(t, analysistest.TestData(t), analysis.AtomicWrite,
+		"mainpkg", modulePath+"/cmd/somefix")
+}
+
+// internal/atomicfile is where the raw calls are the implementation.
+func TestAtomicWriteExemptsAtomicfile(t *testing.T) {
+	t.Parallel()
+	analysistest.RunExpectClean(t, analysistest.TestData(t), analysis.AtomicWrite,
+		"atomicwrite", modulePath+"/internal/atomicfile")
+}
+
+func TestAtomicWriteIgnoresForeignModules(t *testing.T) {
+	t.Parallel()
+	analysistest.RunExpectClean(t, analysistest.TestData(t), analysis.AtomicWrite,
+		"atomicwrite", "example.com/othermodule/lib")
+}

@@ -17,6 +17,10 @@ const allowPrefix = "//uavlint:allow"
 // analyzer: //uavlint:scratch epoch=<field> tables=<f1,f2,...>
 const scratchPrefix = "//uavlint:scratch"
 
+// guardPrefix marks a struct field as protected by a sibling mutex field for
+// the lockguard analyzer: //uavlint:guard <mutexField>
+const guardPrefix = "//uavlint:guard"
+
 // parseAllow extracts the analyzer names from one comment line, or nil if the
 // line is not an allow directive.
 func parseAllow(text string) []string {

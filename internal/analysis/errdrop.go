@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop flags discarded error results in library code: a call used as a
+// bare expression statement whose result tuple contains an error, a deferred
+// call returning an error, or an error explicitly assigned to the blank
+// identifier. The checkpoint/resume contract dies quietly when a write error
+// is dropped — the job looks checkpointed but the file never made it — so
+// discarding must be a visible, reasoned decision (//uavlint:allow errdrop)
+// rather than a habit.
+//
+// Writers that cannot fail are exempt to keep the signal clean:
+// strings.Builder, bytes.Buffer, and hash.Hash sinks (their Write methods
+// always return nil errors by contract), both as method receivers and as the
+// destination of fmt.Fprint*.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flag discarded error results (bare call statements, deferred calls, explicit _ =) in library packages",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	if !strings.HasPrefix(pass.Pkg.Path(), modulePath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDroppedCall(pass, call, "")
+				}
+			case *ast.DeferStmt:
+				checkDroppedCall(pass, n.Call, "deferred ")
+			case *ast.GoStmt:
+				// The goroutine body is walked on its own; the call
+				// itself returns nothing usable.
+				return true
+			case *ast.AssignStmt:
+				checkBlankErrAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDroppedCall reports a call whose result tuple contains an error and
+// whose results are all discarded.
+func checkDroppedCall(pass *Pass, call *ast.CallExpr, prefix string) {
+	tv, ok := pass.Info.Types[call]
+	if !ok || tv.Type == nil || !tupleHasError(tv.Type) {
+		return
+	}
+	if infallibleSink(pass.Info, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "%scall discards its error result; handle it, or annotate a sanctioned best-effort site with //uavlint:allow errdrop -- reason", prefix)
+}
+
+// checkBlankErrAssign reports `_ = f()` and `x, _ := g()` where the blanked
+// position is error-typed.
+func checkBlankErrAssign(pass *Pass, as *ast.AssignStmt) {
+	blankAt := func(i int) bool {
+		id, ok := as.Lhs[i].(*ast.Ident)
+		return ok && id.Name == "_"
+	}
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		// x, _ := g(): positions come from the single call's tuple.
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		tv, ok := pass.Info.Types[call]
+		if !ok || tv.Type == nil {
+			return
+		}
+		tuple, ok := tv.Type.(*types.Tuple)
+		if !ok || tuple.Len() != len(as.Lhs) {
+			return
+		}
+		if infallibleSink(pass.Info, call) {
+			return
+		}
+		for i := 0; i < tuple.Len(); i++ {
+			if blankAt(i) && isErrorType(tuple.At(i).Type()) {
+				pass.Reportf(as.Lhs[i].Pos(), "error result assigned to _; handle it, or annotate a sanctioned site with //uavlint:allow errdrop -- reason")
+			}
+		}
+		return
+	}
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) || !blankAt(i) {
+			continue
+		}
+		tv, ok := pass.Info.Types[rhs]
+		if !ok || tv.Type == nil || !isErrorType(tv.Type) {
+			continue
+		}
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && infallibleSink(pass.Info, call) {
+			continue
+		}
+		pass.Reportf(as.Lhs[i].Pos(), "error result assigned to _; handle it, or annotate a sanctioned site with //uavlint:allow errdrop -- reason")
+	}
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// tupleHasError reports whether a call's result type contains an error.
+func tupleHasError(t types.Type) bool {
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+// infallibleSink reports whether call writes to a sink whose Write contract
+// never returns a non-nil error: strings.Builder, bytes.Buffer, hash.Hash —
+// either as the method receiver (b.WriteString(...)) or as the destination
+// of an fmt.Fprint* call (fmt.Fprintf(&b, ...)).
+func infallibleSink(info *types.Info, call *ast.CallExpr) bool {
+	if pkg, name, ok := packageFunc(info, call); ok && pkg == "fmt" &&
+		strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 {
+		return isInfallibleWriter(info, call.Args[0])
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			return isInfallibleWriterType(s.Recv())
+		}
+	}
+	return false
+}
+
+func isInfallibleWriter(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return isInfallibleWriterType(tv.Type)
+}
+
+func isInfallibleWriterType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch types.TypeString(t, nil) {
+	case "strings.Builder", "bytes.Buffer",
+		"hash.Hash", "hash.Hash32", "hash.Hash64":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,28 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/uav-coverage/uavnet/internal/analysis"
+	"github.com/uav-coverage/uavnet/internal/analysis/analysistest"
+)
+
+func TestErrDrop(t *testing.T) {
+	t.Parallel()
+	analysistest.Run(t, analysistest.TestData(t), analysis.ErrDrop,
+		"errdrop", modulePath+"/internal/errfix")
+}
+
+func TestErrDropIgnoresForeignModules(t *testing.T) {
+	t.Parallel()
+	analysistest.RunExpectClean(t, analysistest.TestData(t), analysis.ErrDrop,
+		"errdrop", "example.com/othermodule/lib")
+}
+
+// main's error handling convention is fmt.Fprintln+os.Exit at the top; the
+// analyzer scopes itself to library packages (mainpkg drops one on purpose).
+func TestErrDropSkipsMainPackages(t *testing.T) {
+	t.Parallel()
+	analysistest.RunExpectClean(t, analysistest.TestData(t), analysis.ErrDrop,
+		"mainpkg", modulePath+"/cmd/somefix")
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// loadFactPackages loads a fixed trio of real module packages — enough to
+// exercise guards (server), waited WaitGroup fields (server), spawns
+// (portfolio), and atomicfile calls — once per test run.
+func loadFactPackages(t *testing.T) []*Package {
+	t.Helper()
+	pkgs, err := LoadPackages("../..", []string{
+		"./internal/server", "./internal/portfolio", "./internal/atomicfile",
+	})
+	if err != nil {
+		t.Fatalf("loading packages: %v", err)
+	}
+	if len(pkgs) != 3 {
+		t.Fatalf("loaded %d packages, want 3", len(pkgs))
+	}
+	return pkgs
+}
+
+// permutations of three indices: enough to shuffle the load order
+// exhaustively instead of probabilistically.
+var perms = [][]int{
+	{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0},
+}
+
+// TestFactsStableUnderLoadOrder proves the phase-one output is a pure
+// function of the sources: every permutation of the package list encodes to
+// the same bytes, so uavlint output cannot flap with go list ordering.
+func TestFactsStableUnderLoadOrder(t *testing.T) {
+	pkgs := loadFactPackages(t)
+	var base []byte
+	for i, perm := range perms {
+		ordered := []*Package{pkgs[perm[0]], pkgs[perm[1]], pkgs[perm[2]]}
+		facts, err := ComputeFacts(ordered)
+		if err != nil {
+			t.Fatalf("perm %v: %v", perm, err)
+		}
+		enc := facts.Encode()
+		if i == 0 {
+			base = enc
+			continue
+		}
+		if !bytes.Equal(enc, base) {
+			t.Errorf("perm %v: fact encoding differs from base order:\n--- base ---\n%s\n--- perm ---\n%s", perm, base, enc)
+		}
+	}
+}
+
+// TestFactsEncodeSorted proves the canonical dump is emitted in sorted
+// sections (guard, func, waited) with sorted lines inside each, which is
+// what makes the byte-stability above reviewable in diffs.
+func TestFactsEncodeSorted(t *testing.T) {
+	facts, err := ComputeFacts(loadFactPackages(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(facts.Encode()), "\n"), "\n")
+	sections := map[string]int{"guard": 0, "func": 1, "waited": 2}
+	var bySection [3][]string
+	last := 0
+	for _, line := range lines {
+		kind, _, ok := strings.Cut(line, " ")
+		idx, known := sections[kind]
+		if !ok || !known {
+			t.Fatalf("malformed fact line %q", line)
+		}
+		if idx < last {
+			t.Fatalf("section %q appears after section index %d: %q", kind, last, line)
+		}
+		last = idx
+		bySection[idx] = append(bySection[idx], line)
+	}
+	for i, sec := range bySection {
+		if !sort.StringsAreSorted(sec) {
+			t.Errorf("section %d is not sorted:\n%s", i, strings.Join(sec, "\n"))
+		}
+	}
+}
+
+// TestFactsRecordRealInvariants ties the fact layer to the live annotations:
+// the server's guarded fields, its waited WaitGroup, and the checkpoint
+// writer's atomicfile usage must all be visible, since lockguard and golife
+// verdicts on internal/server hang off exactly these lines.
+func TestFactsRecordRealInvariants(t *testing.T) {
+	facts, err := ComputeFacts(loadFactPackages(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := string(facts.Encode())
+	const server = "github.com/uav-coverage/uavnet/internal/server"
+	for _, want := range []string{
+		"guard " + server + ".Job.state -> " + server + ".Job.mu (mutex)",
+		"guard " + server + ".Server.jobs -> " + server + ".Server.mu (mutex)",
+		"waited " + server + ".Server.wg",
+	} {
+		if !strings.Contains(enc, want+"\n") {
+			t.Errorf("fact dump is missing %q", want)
+		}
+	}
+	if !strings.Contains(enc, "spawns=") {
+		t.Error("fact dump records no goroutine spawns; Server.Start spawns two")
+	}
+	if !strings.Contains(enc, " atomicfile") {
+		t.Error("fact dump records no atomicfile calls; the server persists through it")
+	}
+}

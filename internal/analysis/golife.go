@@ -1,0 +1,253 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoLife rejects fire-and-forget goroutines in library code. The server's
+// graceful-SIGTERM guarantee — every job checkpoints before the process
+// exits — only holds if every goroutine the library spawns is accounted
+// for: either joined (a WaitGroup the module waits on, or a completion
+// channel the spawner drains) or bounded by context cancellation. A
+// goroutine with none of those outlives Shutdown silently and the
+// kill -9/resume suite can't see it. Accepted shapes:
+//
+//   - the body does `defer wg.Done()` on a local WaitGroup that the
+//     enclosing function Wait()s on, or on a WaitGroup field some function
+//     in the module Wait()s on (tracked via facts, e.g. Server.wg);
+//   - the body observes its context (receives from ctx.Done(), calls
+//     ctx.Err());
+//   - the body sends on a channel the enclosing function receives from
+//     (the worker/collector shape in core.Approx);
+//   - `go f(...)` where the named callee's facts say it observes ctx.Done.
+//
+// cmd/ binaries are exempt (process lifetime is the join); anything else
+// needs a reasoned //uavlint:allow golife.
+var GoLife = &Analyzer{
+	Name: "golife",
+	Doc:  "flag library goroutines that are neither joined (WaitGroup/completion channel) nor bounded by ctx.Done",
+	Run:  runGoLife,
+}
+
+func runGoLife(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	if !strings.HasPrefix(pass.Pkg.Path(), modulePath) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGoStmts(pass, fd.Body, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkGoStmts walks stmts looking for go statements, tracking the innermost
+// enclosing function body (whose Wait()s and channel receives count as joins
+// for goroutines spawned directly in it).
+func checkGoStmts(pass *Pass, n ast.Node, enclosing *ast.BlockStmt) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkGoStmts(pass, n.Body, n.Body)
+			return false
+		case *ast.GoStmt:
+			checkGoStmt(pass, n, enclosing)
+			// The spawned body may itself spawn; its literal is the
+			// new enclosing scope.
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				checkGoStmts(pass, lit.Body, lit.Body)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func checkGoStmt(pass *Pass, g *ast.GoStmt, enclosing *ast.BlockStmt) {
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		// go f(...): accept when the callee observes its context.
+		if fn := calleeFunc(pass.Info, g.Call); fn != nil {
+			if pass.Facts != nil && pass.Facts.fact(fn.FullName()).CtxDone {
+				return
+			}
+			pass.Reportf(g.Pos(), "go %s: callee neither observes ctx.Done/ctx.Err nor is joined; bound its lifetime (ctx, WaitGroup, completion channel) or annotate with //uavlint:allow golife", fn.Name())
+			return
+		}
+		pass.Reportf(g.Pos(), "unjoined goroutine: bound its lifetime with a WaitGroup, a completion channel, or ctx.Done, or annotate with //uavlint:allow golife")
+		return
+	}
+	if deferredDoneJoined(pass, lit.Body, enclosing) {
+		return
+	}
+	if observesCtx(pass.Info, lit.Body) {
+		return
+	}
+	if sendsToReceivedChan(pass.Info, lit.Body, enclosing) {
+		return
+	}
+	pass.Reportf(g.Pos(), "unjoined goroutine: body neither does defer wg.Done() on a waited WaitGroup, nor observes ctx.Done/ctx.Err, nor sends on a channel this function receives from; annotate a sanctioned site with //uavlint:allow golife")
+}
+
+// deferredDoneJoined reports whether body does `defer X.Done()` on a
+// WaitGroup that is actually waited on: a local variable Wait()ed in the
+// enclosing function, or a struct field Wait()ed anywhere in the module
+// (phase-one facts).
+func deferredDoneJoined(pass *Pass, body, enclosing *ast.BlockStmt) bool {
+	joined := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a nested literal's defers do not run at goroutine exit
+		}
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(d.Call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Done" || !isWaitGroup(pass.Info, sel.X) {
+			return true
+		}
+		switch x := ast.Unparen(sel.X).(type) {
+		case *ast.Ident:
+			obj := pass.Info.Uses[x]
+			if obj != nil && waitsOnObject(pass.Info, enclosing, obj) {
+				joined = true
+			}
+		case *ast.SelectorExpr:
+			if s, ok := pass.Info.Selections[x]; ok && s.Kind() == types.FieldVal {
+				if key := fieldKeyOfSelection(s, x.Sel.Name); key != "" &&
+					pass.Facts != nil && pass.Facts.Waited(key) {
+					joined = true
+				}
+			}
+		}
+		return true
+	})
+	return joined
+}
+
+// isWaitGroup reports whether e is a sync.WaitGroup (or pointer to one).
+func isWaitGroup(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return types.TypeString(t, nil) == "sync.WaitGroup"
+}
+
+// waitsOnObject reports whether fn contains `X.Wait()` where X resolves to obj.
+func waitsOnObject(info *types.Info, fn *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Wait" {
+			return true
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// observesCtx reports whether body receives from a context's Done() channel
+// (directly or in a select) or calls ctx.Err().
+func observesCtx(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && isCtxDoneCall(info, n.X) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if isCtxDoneCall(info, n.X) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok &&
+				sel.Sel.Name == "Err" && isContextExpr(info, sel.X) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isCtxDoneCall reports whether e is `ctx.Done()` for a context.Context ctx.
+func isCtxDoneCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Done" && isContextExpr(info, sel.X)
+}
+
+// sendsToReceivedChan reports whether body sends on a channel expression the
+// enclosing function receives from (`<-ch` or `for range ch`) — the
+// worker/collector join: the spawner blocks until the send happens. Matching
+// is textual (types.ExprString), same as the epochscratch receiver match.
+func sendsToReceivedChan(info *types.Info, body, enclosing *ast.BlockStmt) bool {
+	recvs := map[string]bool{}
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				recvs[types.ExprString(ast.Unparen(n.X))] = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[ast.Unparen(n.X)]; ok && tv.Type != nil {
+				if _, ok := tv.Type.Underlying().(*types.Chan); ok {
+					recvs[types.ExprString(ast.Unparen(n.X))] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(recvs) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		// Nested literals count: core.Approx's workers send from inside
+		// a defer func(){ results <- out }().
+		if s, ok := n.(*ast.SendStmt); ok && recvs[types.ExprString(ast.Unparen(s.Chan))] {
+			found = true
+		}
+		return true
+	})
+	return found
+}

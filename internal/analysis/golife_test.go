@@ -1,0 +1,28 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/uav-coverage/uavnet/internal/analysis"
+	"github.com/uav-coverage/uavnet/internal/analysis/analysistest"
+)
+
+func TestGoLife(t *testing.T) {
+	t.Parallel()
+	analysistest.Run(t, analysistest.TestData(t), analysis.GoLife,
+		"golife", modulePath+"/internal/gofix")
+}
+
+func TestGoLifeIgnoresForeignModules(t *testing.T) {
+	t.Parallel()
+	analysistest.RunExpectClean(t, analysistest.TestData(t), analysis.GoLife,
+		"golife", "example.com/othermodule/lib")
+}
+
+// A cmd/ binary's goroutines are bounded by process exit; golife stays quiet
+// there (mainpkg spawns an orphan on purpose).
+func TestGoLifeSkipsMainPackages(t *testing.T) {
+	t.Parallel()
+	analysistest.RunExpectClean(t, analysistest.TestData(t), analysis.GoLife,
+		"mainpkg", modulePath+"/cmd/somefix")
+}

@@ -1,0 +1,212 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockGuard enforces //uavlint:guard annotations: a struct field carrying
+// `//uavlint:guard mu` may only be read or written while the sibling mutex
+// field mu is held on the same receiver. Holding is tracked syntactically
+// through the statement order of each function (branches are conditional, a
+// deferred Unlock keeps the guard to the end), and across calls through the
+// phase-one facts: a function that touches guarded state without locking
+// gets a Requires fact its callers are checked against, so Server.publish-
+// style "caller must hold mu" helpers stay safe without annotations on every
+// call chain. The same walk rejects the two classic self-inflicted wounds —
+// Lock while already held, and calling a Lock-taking callee under the lock.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "flag access to //uavlint:guard-annotated fields on paths where the guard mutex is not held",
+	Run:  runLockGuard,
+}
+
+// guardProblem is a malformed //uavlint:guard marker.
+type guardProblem struct {
+	pos token.Pos
+	msg string
+}
+
+// collectGuards gathers the //uavlint:guard annotations of one package into
+// a guardSpec keyed by "pkgPath.Type.field", plus the malformed markers.
+// The directive sits in the guarded field's doc comment or trailing line
+// comment and names a sibling field of type sync.Mutex or sync.RWMutex.
+func collectGuards(pkg *Package) (*guardSpec, []guardProblem) {
+	spec := &guardSpec{guardOf: map[string]string{}, kind: map[string]string{}}
+	var problems []guardProblem
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				arg, pos, ok := guardDirective(field)
+				if !ok {
+					continue
+				}
+				if arg == "" {
+					problems = append(problems, guardProblem{pos, "//uavlint:guard needs the name of the protecting mutex field, e.g. //uavlint:guard mu"})
+					continue
+				}
+				kind := mutexFieldKind(st, arg)
+				if kind == "" {
+					problems = append(problems, guardProblem{pos, "//uavlint:guard " + arg + ": " + ts.Name.Name + " has no sync.Mutex or sync.RWMutex field named " + arg})
+					continue
+				}
+				base := pkg.Types.Path() + "." + ts.Name.Name + "."
+				spec.kind[base+arg] = kind
+				for _, name := range field.Names {
+					spec.guardOf[base+name.Name] = base + arg
+				}
+				if len(field.Names) == 0 {
+					problems = append(problems, guardProblem{pos, "//uavlint:guard on an embedded field is not supported; name the field"})
+				}
+			}
+			return true
+		})
+	}
+	return spec, problems
+}
+
+// guardDirective extracts the argument of a //uavlint:guard directive on a
+// struct field (doc comment or same-line comment), if present.
+func guardDirective(field *ast.Field) (arg string, pos token.Pos, ok bool) {
+	for _, cg := range [2]*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			rest, found := strings.CutPrefix(c.Text, guardPrefix)
+			if !found || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+				continue
+			}
+			f := strings.Fields(rest)
+			if len(f) == 0 {
+				return "", c.Pos(), true
+			}
+			return f[0], c.Pos(), true
+		}
+	}
+	return "", token.NoPos, false
+}
+
+// mutexFieldKind returns "mutex"/"rwmutex" if the struct has a field with the
+// given name of that type, else "".
+func mutexFieldKind(st *ast.StructType, name string) string {
+	for _, field := range st.Fields.List {
+		for _, n := range field.Names {
+			if n.Name != name {
+				continue
+			}
+			switch types.ExprString(field.Type) {
+			case "sync.Mutex":
+				return "mutex"
+			case "sync.RWMutex":
+				return "rwmutex"
+			default:
+				return ""
+			}
+		}
+	}
+	return ""
+}
+
+func runLockGuard(pass *Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	if !strings.HasPrefix(pass.Pkg.Path(), modulePath) {
+		return nil
+	}
+	pkg := &Package{ImportPath: pass.Pkg.Path(), Fset: pass.Fset, Files: pass.Files, Types: pass.Pkg, Info: pass.Info}
+	_, problems := collectGuards(pkg)
+	for _, p := range problems {
+		pass.Reportf(p.pos, "%s", p.msg)
+	}
+	facts := pass.Facts
+	if facts == nil || len(facts.guards.guardOf) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			flow := analyzeLockFlow(pass.Info, facts.guards, fd.Body)
+			reportFuncFlow(pass, facts, fd, fn, flow)
+		}
+	}
+	return nil
+}
+
+// shortKey trims the package path off a "pkgPath.Type.field" key, leaving
+// the readable "Type.field".
+func shortKey(key string) string {
+	i := strings.LastIndexByte(key, '.')
+	if i < 0 {
+		return key
+	}
+	if j := strings.LastIndexByte(key[:i], '.'); j >= 0 {
+		return key[j+1:]
+	}
+	return key
+}
+
+// reportFuncFlow turns one function's lock-flow evidence into diagnostics.
+func reportFuncFlow(pass *Pass, facts *FactSet, fd *ast.FuncDecl, fn *types.Func, flow *lockFlow) {
+	for _, m := range flow.misses {
+		field := m.field[strings.LastIndexByte(m.field, '.')+1:]
+		guard := shortKey(m.guard)
+		switch {
+		case m.inLit:
+			pass.Reportf(m.pos, "guarded field %s.%s accessed inside a function literal without holding %s; the literal runs on its own goroutine or schedule, so lock the mutex inside it (or annotate a safe site with //uavlint:allow lockguard)", m.recv, field, guard)
+		case flow.locks[m.guard]:
+			pass.Reportf(m.pos, "guarded field %s.%s accessed without holding %s; %s locks it elsewhere — widen the critical section or lock around this access", m.recv, field, guard, fd.Name.Name)
+		}
+		// A miss in a function that never locks the guard becomes a
+		// Requires fact instead; call sites and the export rule below
+		// enforce it.
+	}
+	for _, pos := range flow.doubleLocks {
+		pass.Reportf(pos, "Lock() on a mutex already held on this path — unconditional self-deadlock")
+	}
+	myFact := facts.fact(fn.FullName())
+	for _, c := range flow.calls {
+		if c.inLit {
+			continue
+		}
+		calleeFact := facts.fact(c.callee)
+		short := c.callee[strings.LastIndexByte(c.callee, '.')+1:]
+		for _, g := range sortedKeys(calleeFact.Requires) {
+			if c.held[g] || !flow.locks[g] {
+				continue
+			}
+			pass.Reportf(c.pos, "call to %s, which requires %s to be held, on a path where it is not; move the call inside the critical section", short, shortKey(g))
+		}
+		for _, g := range sortedKeys(calleeFact.Acquires) {
+			if !c.held[g] || facts.guards.kind[g] != "mutex" {
+				continue
+			}
+			pass.Reportf(c.pos, "call to %s, which acquires %s, while it is already held — self-deadlock; use or extract a *Locked variant", short, shortKey(g))
+		}
+	}
+	if fn.Exported() && len(myFact.Requires) > 0 && !strings.HasSuffix(fn.Name(), "Locked") {
+		reqs := sortedKeys(myFact.Requires)
+		for i, g := range reqs {
+			reqs[i] = shortKey(g)
+		}
+		pass.Reportf(fd.Name.Pos(), "exported %s touches guarded state but relies on its caller holding %s; lock internally, unexport it, or suffix the name with Locked to document the contract", fd.Name.Name, strings.Join(reqs, ", "))
+	}
+}

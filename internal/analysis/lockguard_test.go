@@ -1,0 +1,22 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/uav-coverage/uavnet/internal/analysis"
+	"github.com/uav-coverage/uavnet/internal/analysis/analysistest"
+)
+
+func TestLockGuard(t *testing.T) {
+	t.Parallel()
+	analysistest.Run(t, analysistest.TestData(t), analysis.LockGuard,
+		"lockguard", modulePath+"/internal/lockfix")
+}
+
+// Guarded-field discipline is our module's contract; foreign code (vendored,
+// generated) is not ours to police even when it carries the markers.
+func TestLockGuardIgnoresForeignModules(t *testing.T) {
+	t.Parallel()
+	analysistest.RunExpectClean(t, analysistest.TestData(t), analysis.LockGuard,
+		"lockguard", "example.com/othermodule/lib")
+}

@@ -1,0 +1,27 @@
+// Package atomicwrite exercises the atomicwrite analyzer: each forbidden
+// os call, the reasoned suppression, and a read-only call that must stay
+// silent. The same fixture doubles as the atomicfile-package carve-out
+// proof (see TestAtomicWriteExemptsAtomicfile).
+package atomicwrite
+
+import "os"
+
+func persist(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `raw os\.WriteFile bypasses`
+}
+
+func create(path string) (*os.File, error) {
+	return os.Create(path) // want `raw os\.Create bypasses`
+}
+
+func swap(from, to string) error {
+	return os.Rename(from, to) // want `raw os\.Rename bypasses`
+}
+
+func profile(path string) (*os.File, error) {
+	return os.Create(path) //uavlint:allow atomicwrite -- fixture: profiling stream, not persistence
+}
+
+func read(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

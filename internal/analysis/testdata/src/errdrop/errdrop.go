@@ -1,0 +1,58 @@
+// Package errdrop exercises the errdrop analyzer: bare and deferred calls
+// that discard errors, blank assignments of error values, the infallible-
+// writer exemptions (strings.Builder, bytes.Buffer, hash.Hash), and the
+// suppression escape hatch.
+package errdrop
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+func bare() {
+	mayFail() // want `call discards its error result`
+}
+
+func deferred() {
+	defer mayFail() // want `deferred call discards its error result`
+}
+
+func blank() {
+	_ = mayFail() // want `error result assigned to _`
+}
+
+func blankPair() int {
+	n, _ := pair() // want `error result assigned to _`
+	return n
+}
+
+// exempt writes to sinks whose Write contract cannot fail.
+func exempt() string {
+	var b strings.Builder
+	b.WriteString("x")
+	fmt.Fprintf(&b, "%d", 1)
+	var buf bytes.Buffer
+	buf.WriteByte('y')
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s", "z")
+	h.Write([]byte("w"))
+	return b.String()
+}
+
+func sanctioned(f *os.File) {
+	f.Write([]byte("x")) //uavlint:allow errdrop -- fixture: best-effort write
+}
+
+// fine discards non-error values, which is nobody's business.
+func fine() int {
+	s := strings.ToUpper("a")
+	_ = s
+	return len(s)
+}

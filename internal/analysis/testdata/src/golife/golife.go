@@ -1,0 +1,101 @@
+// Package golife exercises the golife analyzer: every accepted join shape
+// (local WaitGroup, field WaitGroup waited elsewhere via facts, ctx
+// observation, completion channel, named callee with a ctx fact), the
+// orphan shapes that must be flagged, and the suppression escape hatch.
+package golife
+
+import (
+	"context"
+	"sync"
+)
+
+func orphan() {
+	go func() {}() // want `unjoined goroutine`
+}
+
+// joined is the local WaitGroup shape.
+func joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+	wg.Wait()
+}
+
+// pool is the Server.wg shape: the spawn and the Wait live in different
+// methods, connected through the phase-one waited facts.
+type pool struct {
+	wg sync.WaitGroup
+}
+
+func (p *pool) spawn() {
+	p.wg.Add(1)
+	go func() { defer p.wg.Done() }()
+}
+
+func (p *pool) Wait() { p.wg.Wait() }
+
+// leaky looks identical to pool but nothing ever waits on its group.
+type leaky struct {
+	wg sync.WaitGroup
+}
+
+func (l *leaky) spawn() {
+	l.wg.Add(1)
+	go func() { defer l.wg.Done() }() // want `unjoined goroutine`
+}
+
+// ctxBound exits when the context is cancelled.
+func ctxBound(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// errBound polls ctx.Err, which also counts as observing cancellation.
+func errBound(ctx context.Context) {
+	go func() {
+		for ctx.Err() == nil {
+		}
+	}()
+}
+
+// selectBound observes ctx.Done through a select arm.
+func selectBound(ctx context.Context, ch chan int) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		case v := <-ch:
+			_ = v
+		}
+	}()
+}
+
+// chanJoin is the worker/collector shape from core.Approx: the send happens
+// inside a nested deferred literal, and the spawner blocks receiving.
+func chanJoin() int {
+	results := make(chan int)
+	go func() {
+		defer func() { results <- 1 }()
+	}()
+	return <-results
+}
+
+// watcher observes ctx, so spawning it by name is fine...
+func watcher(ctx context.Context) {
+	<-ctx.Done()
+}
+
+func namedOK(ctx context.Context) {
+	go watcher(ctx)
+}
+
+// ...but a named callee with no lifetime bound is still an orphan.
+func sleepy() {}
+
+func namedBad() {
+	go sleepy() // want `go sleepy: callee neither observes`
+}
+
+func sanctioned() {
+	go func() {}() //uavlint:allow golife -- fixture: deliberate fire-and-forget
+}

@@ -1,0 +1,143 @@
+// Package lockguard exercises the lockguard analyzer: //uavlint:guard
+// annotations, held-set tracking through branches and defers, cross-function
+// Requires/Acquires facts, the exported-contract rule, and both deadlock
+// shapes.
+package lockguard
+
+import "sync"
+
+type box struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	count int      //uavlint:guard mu
+	names []string //uavlint:guard rw
+	plain int      // unguarded: free to touch
+}
+
+// ok is the canonical correct shape.
+func (b *box) ok() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.count
+}
+
+// Peek releases too early; the second read is outside the critical section.
+func (b *box) Peek() int {
+	b.mu.Lock()
+	n := b.count
+	b.mu.Unlock()
+	return n + b.count // want `accessed without holding box\.mu`
+}
+
+// branchy only locks on one path, so the unconditional access is unguarded.
+func (b *box) branchy(c bool) {
+	if c {
+		b.mu.Lock()
+	}
+	b.count++ // want `accessed without holding box\.mu`
+	if c {
+		b.mu.Unlock()
+	}
+}
+
+// sumLocked documents its contract by name and by fact: callers hold mu.
+func (b *box) sumLocked() int { return b.count }
+
+// badCaller holds mu for the first call but not the second.
+func (b *box) badCaller() int {
+	b.mu.Lock()
+	n := b.sumLocked()
+	b.mu.Unlock()
+	return n + b.sumLocked() // want `requires box\.mu to be held`
+}
+
+// Total leaks the caller-must-hold contract through an exported name.
+func (b *box) Total() int { // want `exported Total touches guarded state`
+	return b.count
+}
+
+// TotalLocked states the contract in its name, which is the sanctioned way.
+func (b *box) TotalLocked() int {
+	return b.count
+}
+
+// indirect inherits sumLocked's requirement without touching count itself...
+func (b *box) indirect() int { return b.sumLocked() }
+
+// ...and Grand proves the requirement propagates two hops up.
+func (b *box) Grand() int { // want `exported Grand touches guarded state`
+	return b.indirect()
+}
+
+// doubleLock self-deadlocks unconditionally.
+func (b *box) doubleLock() {
+	b.mu.Lock()
+	b.mu.Lock() // want `already held on this path`
+	b.count++
+	b.mu.Unlock()
+}
+
+// withLock acquires mu itself, so calling it under mu deadlocks.
+func (b *box) withLock() {
+	b.mu.Lock()
+	b.count++
+	b.mu.Unlock()
+}
+
+func (b *box) outer() {
+	b.mu.Lock()
+	b.withLock() // want `self-deadlock`
+	b.mu.Unlock()
+}
+
+// closureLeak captures guarded state in a literal that runs who-knows-when.
+func (b *box) closureLeak() func() {
+	return func() { b.count++ } // want `inside a function literal`
+}
+
+// closureOK locks inside the literal, where the access happens.
+func (b *box) closureOK() func() {
+	return func() {
+		b.mu.Lock()
+		b.count++
+		b.mu.Unlock()
+	}
+}
+
+// readNames uses the RWMutex read side.
+func (b *box) readNames() []string {
+	b.rw.RLock()
+	defer b.rw.RUnlock()
+	return b.names
+}
+
+// rlockTwice is legal: RLock is shared-reentrant, so no deadlock report.
+func (b *box) rlockTwice() int {
+	b.rw.RLock()
+	b.rw.RLock()
+	n := len(b.names)
+	b.rw.RUnlock()
+	b.rw.RUnlock()
+	return n
+}
+
+// free touches only the unguarded field.
+func (b *box) free() int {
+	b.plain++
+	return b.plain
+}
+
+// NewBox writes guarded fields before the box is published; without the
+// allow directive the exported-contract rule would flag it.
+//
+//uavlint:allow lockguard -- constructor: nothing else can see the box yet
+func NewBox() *box {
+	b := &box{}
+	b.count = 1
+	return b
+}
+
+type badmarker struct {
+	mu sync.Mutex
+	x  int //uavlint:guard nope // want `has no sync\.Mutex or sync\.RWMutex field named nope`
+}

@@ -1,0 +1,16 @@
+// Package main mimics a cmd/ binary: golife and errdrop scope themselves to
+// library code (process exit is the join, and main's error handling is
+// fmt.Fprintln+os.Exit), so neither fires here — but atomicwrite covers
+// main packages too, because the original violation was cmd/uavbench's raw
+// CSV write.
+package main
+
+import "os"
+
+func mayFail() error { return nil }
+
+func main() {
+	go func() {}()
+	mayFail()
+	os.WriteFile("out.csv", nil, 0o644) // want `raw os\.WriteFile bypasses`
+}

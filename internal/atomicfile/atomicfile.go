@@ -54,7 +54,7 @@ func WriteFile(path string, data []byte, perm os.FileMode) error {
 		err = os.Rename(tmp.Name(), path)
 	}
 	if err != nil {
-		os.Remove(tmp.Name())
+		os.Remove(tmp.Name()) //uavlint:allow errdrop -- best-effort temp cleanup on the failure path; the write error below is what matters
 		return err
 	}
 	return syncDir(dir)

@@ -185,13 +185,13 @@ type Job struct {
 	dir      string
 
 	mu       sync.Mutex
-	state    JobState
-	errMsg   string
-	progress *ProgressInfo
-	cancel   func() // non-nil while running; requests cancellation
-	userStop bool   // cancellation was client-requested, not a shutdown
-	subs     map[chan Event]struct{}
-	result   []byte // deployment.json bytes once done
+	state    JobState      //uavlint:guard mu
+	errMsg   string        //uavlint:guard mu
+	progress *ProgressInfo //uavlint:guard mu
+	cancel   func()        //uavlint:guard mu -- non-nil while running; requests cancellation
+	userStop bool          //uavlint:guard mu -- cancellation was client-requested, not a shutdown
+	subs     map[chan Event]struct{} //uavlint:guard mu
+	result   []byte                  //uavlint:guard mu -- deployment.json bytes once done
 }
 
 // State returns the job's current state and terminal error message.

@@ -47,15 +47,17 @@ type Server struct {
 
 	mu      sync.Mutex
 	cond    *sync.Cond
-	jobs    map[string]*Job
-	pending []*Job
-	requeue []*Job          // rescanned unfinished jobs, enqueued by Start
-	ctx     context.Context // the Start context; nil until Start
+	jobs    map[string]*Job //uavlint:guard mu
+	pending []*Job          //uavlint:guard mu
+	requeue []*Job          //uavlint:guard mu -- rescanned unfinished jobs, enqueued by Start
+	ctx     context.Context //uavlint:guard mu -- the Start context; nil until Start
 	wg      sync.WaitGroup
 }
 
 // New builds a Server over dir, rescanning any jobs a previous process left
 // behind. Unfinished jobs are re-enqueued when Start is called.
+//
+//uavlint:allow lockguard -- constructor: the Server is not published until New returns, so pre-publication writes race with nothing
 func New(cfg Config) (*Server, error) {
 	if cfg.Dir == "" {
 		return nil, fmt.Errorf("server: Config.Dir is required")
@@ -191,7 +193,7 @@ func writeJSONResponse(w http.ResponseWriter, code int, v any) {
 	if err != nil {
 		return
 	}
-	w.Write(append(data, '\n'))
+	w.Write(append(data, '\n')) //uavlint:allow errdrop -- best-effort HTTP response; the client owns detection of a torn body
 }
 
 // httpError writes a JSON error body.
@@ -338,7 +340,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	data := j.result
 	j.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
-	w.Write(data)
+	w.Write(data) //uavlint:allow errdrop -- best-effort HTTP response; the client owns detection of a torn body
 }
 
 func suffixIf(errMsg string) string {

@@ -155,6 +155,8 @@ func (s *Server) loadResume(j *Job) (*uavnet.Checkpoint, *uavnet.PortfolioCheckp
 // durable frontier); done, failed, and cancelled jobs come back in their
 // terminal state. The returned slice lists the jobs to re-enqueue, in
 // directory order.
+//
+//uavlint:allow lockguard -- runs inside New before the Server or any Job is published; no other goroutine can observe the fields yet
 func (s *Server) rescan() ([]*Job, error) {
 	entries, err := os.ReadDir(s.cfg.Dir)
 	if err != nil {
